@@ -1,0 +1,61 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (Section V) from the reproduction's solvers and substrates.
+//
+//	experiments -exp all            # everything, full budgets
+//	experiments -exp table2,fig9    # a selection
+//	experiments -exp fig11 -quick   # reduced budgets for a fast look
+//
+// Output is plain text: aligned tables, and (x, y) rows per series for
+// figures. See DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured commentary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "all", "comma-separated experiment ids, or 'all': "+strings.Join(exp.Names(), ","))
+		quick = flag.Bool("quick", false, "reduced shot/sweep budgets")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	names := exp.Names()
+	if *which != "all" {
+		names = strings.Split(*which, ",")
+	}
+	cfg := exp.Config{Quick: *quick, Seed: *seed}
+	failed := false
+	for _, name := range names {
+		runner, err := exp.Lookup(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			failed = true
+			continue
+		}
+		start := time.Now()
+		res, err := runner(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			failed = true
+			continue
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s render: %v\n", name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

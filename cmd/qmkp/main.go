@@ -1,0 +1,189 @@
+// Command qmkp solves maximum k-plex instances with the algorithms of the
+// reproduction: the gate-based qTKP/qMKP (simulated), the annealing-based
+// qaMKP, and the classical baselines.
+//
+// Usage:
+//
+//	qmkp -algo qmkp  -k 2 -graph graph.txt
+//	qmkp -algo qamkp -k 3 -gen 20,100 -shots 500 -deltat 5
+//	qmkp -algo bs    -k 2 -dataset 'G_{10,23}'
+//
+// Input is either -graph (edge-list file, see internal/graph), -gen n,m (a
+// seeded random graph) or -dataset (a named paper dataset).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/club"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kplex"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qmkp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		algo    = flag.String("algo", "qmkp", "algorithm: qmkp | qtkp | qamkp | bs | naive | greedy | tabu | qnclub")
+		k       = flag.Int("k", 2, "k-plex parameter")
+		clubL   = flag.Int("club", 2, "qnclub: diameter bound n of the n-club")
+		tSize   = flag.Int("T", 0, "size threshold (qtkp only)")
+		file    = flag.String("graph", "", "edge-list file (p/e format, 1-based vertices)")
+		gen     = flag.String("gen", "", "generate a random graph: n,m")
+		dataset = flag.String("dataset", "", "named paper dataset, e.g. 'G_{10,23}'")
+		seed    = flag.Int64("seed", 1, "random seed")
+		shots   = flag.Int("shots", 200, "qaMKP: number of anneals")
+		deltaT  = flag.Int("deltat", 5, "qaMKP: sweeps per anneal (µs analogue)")
+		rPen    = flag.Float64("R", 2, "qaMKP: penalty weight (must be > 1)")
+		embed   = flag.Bool("embed", false, "qaMKP: run through the hardware-embedding pipeline")
+		reduce  = flag.Bool("reduce", false, "apply core-truss co-pruning before solving")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*file, *gen, *dataset, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("input: %v, k=%d\n", g, *k)
+
+	if *reduce {
+		lb := kplex.Greedy(g, *k)
+		red := g.CoTrussPrune(*k, len(lb)+1)
+		fmt.Printf("reduction: removed %d vertices (greedy lower bound %d)\n", red.Removed, len(lb))
+		if red.Graph.N() == 0 {
+			sort.Ints(lb)
+			fmt.Printf("solution: size %d, set %v (greedy optimal after reduction)\n", len(lb), oneBased(lb))
+			return nil
+		}
+		g = red.Graph
+		// Results below are reported in reduced ids plus the lift.
+		defer fmt.Printf("(vertex ids above are positions in the reduced graph; lift: %v)\n", oneBased(red.Vertices))
+	}
+
+	switch *algo {
+	case "qmkp":
+		res, err := core.QMKP(g, *k, &core.GateOptions{Rng: rand.New(rand.NewSource(*seed))})
+		if err != nil {
+			return err
+		}
+		for _, p := range res.Progress {
+			status := "no plex of that size"
+			if p.Found {
+				status = fmt.Sprintf("found size %d", p.Size)
+			}
+			fmt.Printf("  probe T=%-3d %-22s cum. modelled QPU %v\n", p.T, status, p.CumQPUTime)
+		}
+		fmt.Printf("solution: size %d, set %v\n", res.Size, oneBased(res.Set))
+		fmt.Printf("cost: %d oracle calls, %d gates, modelled QPU %v, wall %v, error prob %.2e\n",
+			res.OracleCalls, res.Gates, res.QPUTime, res.WallTime, res.ErrorProbability)
+	case "qtkp":
+		if *tSize < 1 {
+			return fmt.Errorf("qtkp needs -T ≥ 1")
+		}
+		res, err := core.QTKP(g, *k, *tSize, &core.GateOptions{Rng: rand.New(rand.NewSource(*seed))})
+		if err != nil {
+			return err
+		}
+		if !res.Found {
+			fmt.Printf("no %d-plex of size ≥ %d exists\n", *k, *tSize)
+			return nil
+		}
+		fmt.Printf("solution: size %d, set %v (M=%d, %d iterations, error prob %.2e)\n",
+			len(res.Set), oneBased(res.Set), res.M, res.Iterations, res.ErrorProbability)
+	case "qamkp":
+		res, err := core.QAMKP(g, *k, &core.AnnealOptions{
+			R: *rPen, Shots: *shots, DeltaT: *deltaT, Seed: *seed, Embed: *embed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("model: %d binary variables (%d slack)\n", res.Variables, res.SlackVars)
+		if res.EmbedStats != nil {
+			fmt.Printf("embedding: %d physical qubits, avg chain %.2f, max chain %d\n",
+				res.EmbedStats.PhysicalQubits, res.EmbedStats.AvgChain, res.EmbedStats.MaxChain)
+		}
+		fmt.Printf("solution: size %d, set %v (valid k-plex: %v), cost %.2f\n",
+			res.Size, oneBased(res.Set), res.Valid, res.Cost)
+	case "bs":
+		res, err := kplex.BS(g, *k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("solution: size %d, set %v (%d nodes expanded)\n", res.Size, oneBased(res.Set), res.Nodes)
+	case "naive":
+		res, err := kplex.Naive(g, *k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("solution: size %d, set %v (%d subsets scanned)\n", res.Size, oneBased(res.Set), res.Nodes)
+	case "greedy":
+		set := kplex.Greedy(g, *k)
+		fmt.Printf("solution: size %d, set %v (heuristic lower bound)\n", len(set), oneBased(set))
+	case "tabu":
+		set := kplex.TabuSearch(g, *k, kplex.TabuOptions{Seed: *seed})
+		fmt.Printf("solution: size %d, set %v (tabu-search lower bound)\n", len(set), oneBased(set))
+	case "qnclub":
+		res, err := club.QMaxClub(g, *clubL, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("solution: maximum %d-club of size %d, set %v (%d oracle calls)\n",
+			*clubL, res.Size, oneBased(res.Set), res.Nodes)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	return nil
+}
+
+func loadGraph(file, gen, dataset string, seed int64) (*graph.Graph, error) {
+	sources := 0
+	for _, s := range []string{file, gen, dataset} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("specify exactly one of -graph, -gen, -dataset")
+	}
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.Read(f)
+	case gen != "":
+		var n, m int
+		if _, err := fmt.Sscanf(strings.ReplaceAll(gen, " ", ""), "%d,%d", &n, &m); err != nil {
+			return nil, fmt.Errorf("bad -gen %q: want n,m", gen)
+		}
+		return graph.Gnm(n, m, seed), nil
+	default:
+		d, err := graph.PaperDataset(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return d.Build(), nil
+	}
+}
+
+// oneBased renders a vertex set with the paper's 1-based labels.
+func oneBased(set []int) []int {
+	out := make([]int, len(set))
+	for i, v := range set {
+		out[i] = v + 1
+	}
+	return out
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Gate-Based and
+// Annealing-Based Quantum Algorithms for the Maximum K-Plex Problem"
+// (Li, Cong, Zhou — ICDE 2024).
+//
+// The library lives under internal/ (one package per subsystem; see
+// DESIGN.md for the inventory), the executables under cmd/, runnable
+// examples under examples/, and the per-table/per-figure benchmark suite
+// in bench_test.go at this root.
+package repro

@@ -1,0 +1,63 @@
+// Community detection with k-plexes: the paper's motivating application.
+//
+// Real-world communities are rarely perfect cliques — noise and missing
+// observations knock out edges. This example plants three communities in a
+// noisy graph, then compares what clique search (k=1) and 2-plex search
+// recover: the relaxed model finds the full communities, the clique model
+// only fragments of them.
+//
+//	go run ./examples/community
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/graph"
+	"repro/internal/kplex"
+)
+
+func main() {
+	// Three communities of 7 vertices; 85% intra-community edge density
+	// (noisy, so not cliques), 5% background noise.
+	const groups, size = 3, 7
+	g, comm := graph.PlantedCommunities(groups, size, 0.85, 0.05, 42)
+	fmt.Printf("planted %d communities of %d vertices in %v\n\n", groups, size, g)
+
+	for k := 1; k <= 2; k++ {
+		fmt.Printf("--- maximum %d-plex per community ---\n", k)
+		totalRecovered := 0
+		for c := 0; c < groups; c++ {
+			var members []int
+			for v, cv := range comm {
+				if cv == c {
+					members = append(members, v)
+				}
+			}
+			sub, ids := g.InducedSubgraph(members)
+			res, err := kplex.MaxKPlex(sub, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lifted := make([]int, len(res.Set))
+			for i, v := range res.Set {
+				lifted[i] = ids[v]
+			}
+			fmt.Printf("community %d: found size %d of %d: %v\n", c, res.Size, size, lifted)
+			totalRecovered += res.Size
+		}
+		fmt.Printf("recovered %d of %d community members with k=%d\n\n",
+			totalRecovered, groups*size, k)
+	}
+
+	fmt.Println("k=2 recovers more members per community than the strict clique")
+	fmt.Println("model — the robustness argument of the paper's introduction.")
+
+	// Cross-check one community with the quantum-ready reduction: the
+	// core–truss co-pruning shrinks the noisy graph to something a
+	// gate-model simulator could take.
+	lb := kplex.Greedy(g, 2)
+	red := g.CoTrussPrune(2, len(lb)+1)
+	fmt.Printf("\nco-pruning the whole graph for 2-plexes > %d: %d of %d vertices remain\n",
+		len(lb), red.Graph.N(), g.N())
+}

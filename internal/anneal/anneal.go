@@ -1,0 +1,181 @@
+// Package anneal is the annealing substrate of the reproduction. It
+// provides three samplers over QUBO models:
+//
+//   - SA: classical simulated annealing (the paper's SA baseline, run as
+//     sweeps × shots exactly like its D-Wave-style interface).
+//   - SQA: path-integral (Trotter) simulated quantum annealing with a
+//     decaying transverse field — the stand-in for the D-Wave Advantage
+//     QPU (see DESIGN.md substitution table). The per-shot sweep budget
+//     plays the role of the paper's annealing time Δt.
+//   - Hybrid: a greedy + annealing + polish portfolio with a minimum
+//     runtime contract, standing in for the D-Wave Hybrid BQM solver.
+//
+// All samplers are deterministic under a fixed seed and report a
+// best-so-far trace per shot so the harness can draw the paper's
+// cost-vs-runtime curves.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/qubo"
+)
+
+// Params configures a sampler. Zero values select documented defaults.
+type Params struct {
+	Shots  int   // independent anneals (default 1)
+	Sweeps int   // Monte-Carlo sweeps per shot — the Δt analogue (default 1)
+	Seed   int64 // RNG seed (default 1)
+
+	// Simulated annealing schedule (inverse temperatures, geometric).
+	BetaMin, BetaMax float64 // defaults 0.1 → 10
+
+	// Simulated quantum annealing knobs.
+	Trotter  int     // Trotter slices P (default 8)
+	Gamma0   float64 // initial transverse field (default 3)
+	GammaMin float64 // final transverse field (default 0.05)
+	Beta     float64 // inverse temperature of the quantum bath (default 20)
+
+	// OnSample, when set, observes every end-of-shot readout (for SQA:
+	// every Trotter slice) with its energy — the hook callers use to
+	// track problem-specific quality (e.g. "best valid k-plex seen"),
+	// which need not coincide with the best energy (Section IV-C).
+	OnSample func(x []bool, energy float64)
+}
+
+func (p Params) withDefaults() Params {
+	if p.Shots <= 0 {
+		p.Shots = 1
+	}
+	if p.Sweeps <= 0 {
+		p.Sweeps = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.BetaMin <= 0 {
+		p.BetaMin = 0.1
+	}
+	if p.BetaMax <= 0 {
+		p.BetaMax = 10
+	}
+	if p.Trotter <= 0 {
+		p.Trotter = 8
+	}
+	if p.Gamma0 <= 0 {
+		p.Gamma0 = 3
+	}
+	if p.GammaMin <= 0 {
+		p.GammaMin = 0.05
+	}
+	if p.Beta <= 0 {
+		p.Beta = 20
+	}
+	return p
+}
+
+// Sample is one assignment with its objective value.
+type Sample struct {
+	X      []bool
+	Energy float64
+}
+
+// Result is a sampler outcome.
+type Result struct {
+	Best Sample
+	// BestAfterShot[i] is the best energy seen in shots 0..i — the
+	// anytime trace behind the paper's cost-vs-runtime figures.
+	BestAfterShot []float64
+}
+
+// record folds a candidate into the running result.
+func (r *Result) record(x []bool, energy float64) {
+	if r.Best.X == nil || energy < r.Best.Energy {
+		r.Best = Sample{X: append([]bool(nil), x...), Energy: energy}
+	}
+}
+
+func (r *Result) closeShot() {
+	r.BestAfterShot = append(r.BestAfterShot, r.Best.Energy)
+}
+
+func randomAssignment(rng *rand.Rand, n int) []bool {
+	x := make([]bool, n)
+	for i := range x {
+		x[i] = rng.Intn(2) == 1
+	}
+	return x
+}
+
+// SA runs classical simulated annealing: per shot, a random start followed
+// by Sweeps passes of single-flip Metropolis moves under a geometric
+// inverse-temperature ramp BetaMin → BetaMax.
+func SA(m *qubo.Model, p Params) (Result, error) {
+	if m.N() == 0 {
+		return Result{}, fmt.Errorf("anneal: empty model")
+	}
+	p = p.withDefaults()
+	c := m.Compile()
+	rng := rand.New(rand.NewSource(p.Seed))
+	var res Result
+	order := make([]int, c.N)
+	for i := range order {
+		order[i] = i
+	}
+	for shot := 0; shot < p.Shots; shot++ {
+		x := randomAssignment(rng, c.N)
+		energy := c.Energy(x)
+		res.record(x, energy)
+		for sweep := 0; sweep < p.Sweeps; sweep++ {
+			beta := betaAt(p, sweep)
+			rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+			for _, i := range order {
+				delta := c.FlipDelta(x, i)
+				if delta <= 0 || rng.Float64() < math.Exp(-beta*delta) {
+					x[i] = !x[i]
+					energy += delta
+					if energy < res.Best.Energy {
+						res.record(x, energy)
+					}
+				}
+			}
+		}
+		if p.OnSample != nil {
+			p.OnSample(x, energy)
+		}
+		res.closeShot()
+	}
+	return res, nil
+}
+
+// betaAt interpolates the geometric SA schedule. A single-sweep shot runs
+// straight at BetaMax (a quench), matching the behaviour of hardware-style
+// very short anneals.
+func betaAt(p Params, sweep int) float64 {
+	if p.Sweeps == 1 {
+		return p.BetaMax
+	}
+	f := float64(sweep) / float64(p.Sweeps-1)
+	return p.BetaMin * math.Pow(p.BetaMax/p.BetaMin, f)
+}
+
+// SteepestDescent repeatedly applies the best improving single flip until
+// a local minimum; used by the hybrid solver's polish stage.
+func SteepestDescent(c *qubo.Compiled, x []bool) float64 {
+	energy := c.Energy(x)
+	for {
+		bestI, bestD := -1, 0.0
+		for i := 0; i < c.N; i++ {
+			if d := c.FlipDelta(x, i); d < bestD {
+				bestI, bestD = i, d
+			}
+		}
+		if bestI < 0 {
+			return energy
+		}
+		x[bestI] = !x[bestI]
+		energy += bestD
+	}
+}

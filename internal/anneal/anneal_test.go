@@ -1,0 +1,200 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/qubo"
+)
+
+// bruteMin finds the exact QUBO minimum for tiny models.
+func bruteMin(m *qubo.Model) float64 {
+	n := m.N()
+	best := math.Inf(1)
+	x := make([]bool, n)
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		for i := 0; i < n; i++ {
+			x[i] = mask&(1<<uint(i)) != 0
+		}
+		if v := m.Evaluate(x); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func smallMKPModel(t *testing.T) (*qubo.MKPEncoding, float64) {
+	t.Helper()
+	g := graph.Example6()
+	e, err := qubo.FormulateMKP(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, -4 // optimum: the size-4 max 2-plex
+}
+
+func TestSAFindsOptimumOnExample(t *testing.T) {
+	e, want := smallMKPModel(t)
+	res, err := SA(e.Model, Params{Shots: 200, Sweeps: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Energy > want+1e-9 {
+		t.Errorf("SA best = %v, want ≤ %v", res.Best.Energy, want)
+	}
+	set, valid := e.DecodeValid(res.Best.X)
+	if !valid || len(set) != 4 {
+		t.Errorf("SA best decodes to %v (valid=%v)", set, valid)
+	}
+}
+
+func TestSQAFindsOptimumOnExample(t *testing.T) {
+	e, want := smallMKPModel(t)
+	res, err := SQA(e.Model, Params{Shots: 60, Sweeps: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Energy > want+1e-9 {
+		t.Errorf("SQA best = %v, want ≤ %v", res.Best.Energy, want)
+	}
+	set, valid := e.DecodeValid(res.Best.X)
+	if !valid || len(set) != 4 {
+		t.Errorf("SQA best decodes to %v (valid=%v)", set, valid)
+	}
+}
+
+func TestSamplersReachBruteForceMinimum(t *testing.T) {
+	// On a tiny random QUBO both samplers must hit the exact minimum
+	// with a generous budget.
+	m := qubo.NewModel()
+	for i := 0; i < 10; i++ {
+		m.AddVar("")
+	}
+	// Deterministic rugged instance.
+	vals := []float64{1.3, -2.1, 0.7, -0.4, 2.2, -1.8, 0.9, -1.1, 1.6, -0.6}
+	for i := 0; i < 10; i++ {
+		m.AddLinear(i, vals[i])
+		for j := i + 1; j < 10; j++ {
+			m.AddQuad(i, j, vals[(i*j+3)%10]/2)
+		}
+	}
+	want := bruteMin(m)
+	sa, err := SA(m, Params{Shots: 100, Sweeps: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sa.Best.Energy-want) > 1e-9 {
+		t.Errorf("SA best = %v, brute force = %v", sa.Best.Energy, want)
+	}
+	sqa, err := SQA(m, Params{Shots: 40, Sweeps: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sqa.Best.Energy-want) > 1e-9 {
+		t.Errorf("SQA best = %v, brute force = %v", sqa.Best.Energy, want)
+	}
+}
+
+func TestTraceMonotoneNonIncreasing(t *testing.T) {
+	e, _ := smallMKPModel(t)
+	for name, run := range map[string]func() (Result, error){
+		"SA":  func() (Result, error) { return SA(e.Model, Params{Shots: 30, Sweeps: 5, Seed: 2}) },
+		"SQA": func() (Result, error) { return SQA(e.Model, Params{Shots: 30, Sweeps: 5, Seed: 2}) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.BestAfterShot) != 30 {
+			t.Fatalf("%s: trace has %d points, want 30", name, len(res.BestAfterShot))
+		}
+		for i := 1; i < len(res.BestAfterShot); i++ {
+			if res.BestAfterShot[i] > res.BestAfterShot[i-1]+1e-12 {
+				t.Fatalf("%s: trace not monotone at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	e, _ := smallMKPModel(t)
+	a, _ := SA(e.Model, Params{Shots: 10, Sweeps: 10, Seed: 5})
+	b, _ := SA(e.Model, Params{Shots: 10, Sweeps: 10, Seed: 5})
+	if a.Best.Energy != b.Best.Energy {
+		t.Error("SA not deterministic under fixed seed")
+	}
+	c, _ := SQA(e.Model, Params{Shots: 10, Sweeps: 10, Seed: 5})
+	d, _ := SQA(e.Model, Params{Shots: 10, Sweeps: 10, Seed: 5})
+	if c.Best.Energy != d.Best.Energy {
+		t.Error("SQA not deterministic under fixed seed")
+	}
+}
+
+func TestSteepestDescentReachesLocalMin(t *testing.T) {
+	e, _ := smallMKPModel(t)
+	c := e.Model.Compile()
+	x := make([]bool, c.N)
+	energy := SteepestDescent(c, x)
+	for i := 0; i < c.N; i++ {
+		if c.FlipDelta(x, i) < -1e-12 {
+			t.Fatalf("improving flip %d remains after steepest descent", i)
+		}
+	}
+	if math.Abs(energy-c.Energy(x)) > 1e-9 {
+		t.Error("returned energy inconsistent with state")
+	}
+}
+
+func TestHybridNearOptimalAndHonoursContract(t *testing.T) {
+	e, want := smallMKPModel(t)
+	res, err := Hybrid(e.Model, HybridParams{MinRuntime: 20 * time.Millisecond, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Energy > want+1e-9 {
+		t.Errorf("Hybrid best = %v, want ≤ %v", res.Best.Energy, want)
+	}
+	if res.Elapsed < 20*time.Millisecond {
+		t.Errorf("Hybrid returned before its %v contract: %v", 20*time.Millisecond, res.Elapsed)
+	}
+}
+
+func TestEmptyModelRejected(t *testing.T) {
+	if _, err := SA(qubo.NewModel(), Params{}); err == nil {
+		t.Error("SA accepted empty model")
+	}
+	if _, err := SQA(qubo.NewModel(), Params{}); err == nil {
+		t.Error("SQA accepted empty model")
+	}
+	if _, err := Hybrid(qubo.NewModel(), HybridParams{}); err == nil {
+		t.Error("Hybrid accepted empty model")
+	}
+}
+
+func TestMoreShotsHelpAtFixedBudget(t *testing.T) {
+	// Table V's qualitative finding: with a fixed Δt·s budget, many
+	// short anneals (Δt=1) do at least as well as few long ones (Δt=50)
+	// on these instances.
+	d, err := graph.PaperDataset("D_{10,40}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := qubo.FormulateMKP(d.Build(), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := SQA(e.Model, Params{Shots: 100, Sweeps: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	few, err := SQA(e.Model, Params{Shots: 2, Sweeps: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Best.Energy > few.Best.Energy+1e-9 {
+		t.Errorf("many short anneals (%v) worse than few long ones (%v)",
+			many.Best.Energy, few.Best.Energy)
+	}
+}

@@ -1,0 +1,207 @@
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/qubo"
+)
+
+// SQA runs path-integral simulated quantum annealing on the Ising form of
+// the model: P Trotter replicas of the spin system, coupled along the
+// imaginary-time direction with strength
+//
+//	J⊥(Γ) = -(P/(2β))·ln tanh(βΓ/P)
+//
+// while the transverse field Γ decays from Gamma0 to GammaMin over the
+// sweep schedule. Each sweep proposes one Metropolis flip per (slice,
+// spin). The classical energy of every slice is tracked and the best
+// assignment over all slices and shots is returned.
+//
+// This is the reproduction's stand-in for the D-Wave Advantage QPU: the
+// per-shot sweep count plays the paper's annealing time Δt, and the shot
+// count its sample count s.
+func SQA(m *qubo.Model, p Params) (Result, error) {
+	if m.N() == 0 {
+		return Result{}, fmt.Errorf("anneal: empty model")
+	}
+	p = p.withDefaults()
+	is := m.ToIsing()
+	return sqaIsing(is, p, nil)
+}
+
+// isingAdj is the flattened neighbour structure for fast field updates.
+type isingAdj struct {
+	n   int
+	h   []float64
+	adj [][]qubo.Weighted
+}
+
+func compileIsing(is *qubo.Ising) *isingAdj {
+	a := &isingAdj{n: is.N, h: is.H, adj: make([][]qubo.Weighted, is.N)}
+	for k, w := range is.J {
+		i, j := k[0], k[1]
+		a.adj[i] = append(a.adj[i], qubo.Weighted{J: j, W: w})
+		a.adj[j] = append(a.adj[j], qubo.Weighted{J: i, W: w})
+	}
+	// Deterministic accumulation order: seeded trajectories must not
+	// depend on map iteration order.
+	for i := range a.adj {
+		sort.Slice(a.adj[i], func(x, y int) bool { return a.adj[i][x].J < a.adj[i][y].J })
+	}
+	return a
+}
+
+// localField returns h_i + Σ_j J_ij s_j for slice spins s.
+func (a *isingAdj) localField(s []int8, i int) float64 {
+	f := a.h[i]
+	for _, nb := range a.adj[i] {
+		f += nb.W * float64(s[nb.J])
+	}
+	return f
+}
+
+// sqaIsing runs the PIMC anneal. If unembed is non-nil, each slice's raw
+// physical spins are mapped through it before energy accounting (used by
+// the embedded sampler in internal/embedding via RunEmbedded).
+func sqaIsing(is *qubo.Ising, p Params, unembed func([]int8) ([]bool, float64)) (Result, error) {
+	a := compileIsing(is)
+	rng := rand.New(rand.NewSource(p.Seed))
+	var res Result
+
+	P := p.Trotter
+	spins := make([][]int8, P)
+	for sl := range spins {
+		spins[sl] = make([]int8, a.n)
+	}
+
+	evalSlice := func(s []int8) {
+		var x []bool
+		var e float64
+		if unembed != nil {
+			x, e = unembed(s)
+		} else {
+			x, e = qubo.SpinsToBits(s), is.Energy(s)
+		}
+		res.record(x, e)
+		if p.OnSample != nil {
+			p.OnSample(x, e)
+		}
+	}
+
+	for shot := 0; shot < p.Shots; shot++ {
+		for sl := range spins {
+			for i := range spins[sl] {
+				if rng.Intn(2) == 0 {
+					spins[sl][i] = 1
+				} else {
+					spins[sl][i] = -1
+				}
+			}
+		}
+		for sweep := 0; sweep < p.Sweeps; sweep++ {
+			gamma := gammaAt(p, sweep)
+			beta := sqaBetaAt(p, sweep)
+			// Ferromagnetic inter-slice coupling; stronger as Γ → 0.
+			jPerp := -(float64(P) / (2 * beta)) * math.Log(math.Tanh(beta*gamma/float64(P)))
+			for sl := 0; sl < P; sl++ {
+				up := spins[(sl+1)%P]
+				down := spins[(sl-1+P)%P]
+				cur := spins[sl]
+				for i := 0; i < a.n; i++ {
+					si := float64(cur[i])
+					dClassical := -2 * si * a.localField(cur, i) / float64(P)
+					dQuantum := 2 * jPerp * si * float64(up[i]+down[i])
+					d := dClassical + dQuantum
+					if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
+						cur[i] = -cur[i]
+					}
+				}
+			}
+			// Global (world-line) moves: flip spin i across every slice
+			// at once. The inter-slice products are invariant, so the
+			// energy change is purely classical — the standard PIMC move
+			// that keeps the anneal ergodic once J⊥ has frozen the
+			// slices together.
+			for i := 0; i < a.n; i++ {
+				var d float64
+				for sl := 0; sl < P; sl++ {
+					d += -2 * float64(spins[sl][i]) * a.localField(spins[sl], i) / float64(P)
+				}
+				if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
+					for sl := 0; sl < P; sl++ {
+						spins[sl][i] = -spins[sl][i]
+					}
+				}
+			}
+		}
+		for sl := 0; sl < P; sl++ {
+			evalSlice(spins[sl])
+		}
+		res.closeShot()
+	}
+	return res, nil
+}
+
+// sqaBetaAt ramps the bath inverse temperature geometrically from 1 up to
+// Beta across the sweep schedule (annealed-temperature PIMC): early sweeps
+// stay hot enough to escape penalty-term local minima, late sweeps freeze.
+// A single-sweep shot runs straight at Beta (a quench).
+func sqaBetaAt(p Params, sweep int) float64 {
+	if p.Sweeps == 1 {
+		return p.Beta
+	}
+	f := float64(sweep) / float64(p.Sweeps-1)
+	return math.Pow(p.Beta, f)
+}
+
+// gammaAt interpolates the transverse-field schedule linearly from Gamma0
+// down to GammaMin. A single-sweep shot anneals straight at GammaMin (a
+// quantum quench), mirroring hardware minimum-Δt behaviour.
+func gammaAt(p Params, sweep int) float64 {
+	if p.Sweeps == 1 {
+		return p.GammaMin
+	}
+	f := float64(sweep) / float64(p.Sweeps-1)
+	return p.Gamma0 + (p.GammaMin-p.Gamma0)*f
+}
+
+// RunEmbeddedIsing exposes the PIMC core for callers that have already
+// mapped a logical problem onto a physical Ising (internal/embedding): the
+// unembed callback translates each physical slice back to a logical
+// assignment and its logical energy.
+// As on real hardware, the physical coefficients are normalised to
+// max |h|, |J| = 1 before annealing (the D-Wave auto-scale): chain
+// couplings otherwise dwarf the fixed-β Monte-Carlo dynamics and freeze
+// the anneal. Reported energies are unaffected — the unembed callback
+// evaluates the ORIGINAL logical objective.
+func RunEmbeddedIsing(is *qubo.Ising, p Params, unembed func([]int8) ([]bool, float64)) (Result, error) {
+	if is.N == 0 {
+		return Result{}, fmt.Errorf("anneal: empty Ising")
+	}
+	p = p.withDefaults()
+	maxAbs := 0.0
+	for _, h := range is.H {
+		if a := math.Abs(h); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	for _, j := range is.J {
+		if a := math.Abs(j); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs > 1 {
+		scaled := &qubo.Ising{N: is.N, Offset: is.Offset / maxAbs, H: make([]float64, is.N), J: make(map[[2]int]float64, len(is.J))}
+		for i, h := range is.H {
+			scaled.H[i] = h / maxAbs
+		}
+		for k, j := range is.J {
+			scaled.J[k] = j / maxAbs
+		}
+		is = scaled
+	}
+	return sqaIsing(is, p, unembed)
+}

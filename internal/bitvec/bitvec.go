@@ -1,0 +1,149 @@
+// Package bitvec provides dense bit vectors sized at construction time.
+//
+// They back two hot paths of the reproduction: the classical execution of
+// reversible quantum circuits (thousands of ancilla "qubits" per oracle)
+// and adjacency bitsets in the graph package.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-length sequence of bits. The zero value is an empty
+// vector; use New to create one with a given length.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+// New returns a vector of n zero bits.
+func New(n int) *Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	return &Vector{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len reports the number of bits in v.
+func (v *Vector) Len() int { return v.n }
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Get reports the bit at index i.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Set sets the bit at index i to b.
+func (v *Vector) Set(i int, b bool) {
+	v.check(i)
+	if b {
+		v.words[i/wordBits] |= 1 << uint(i%wordBits)
+	} else {
+		v.words[i/wordBits] &^= 1 << uint(i%wordBits)
+	}
+}
+
+// Flip inverts the bit at index i.
+func (v *Vector) Flip(i int) {
+	v.check(i)
+	v.words[i/wordBits] ^= 1 << uint(i%wordBits)
+}
+
+// Clear zeroes every bit.
+func (v *Vector) Clear() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// OnesCount returns the number of set bits.
+func (v *Vector) OnesCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether any bit is set.
+func (v *Vector) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether v and o have identical length and contents.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of v.
+func (v *Vector) Clone() *Vector {
+	w := New(v.n)
+	copy(w.words, v.words)
+	return w
+}
+
+// CopyFrom overwrites v with the contents of o. The lengths must match.
+func (v *Vector) CopyFrom(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: CopyFrom length mismatch %d != %d", v.n, o.n))
+	}
+	copy(v.words, o.words)
+}
+
+// SetUint writes the low width bits of x into v starting at offset, least
+// significant bit first.
+func (v *Vector) SetUint(offset, width int, x uint64) {
+	for i := 0; i < width; i++ {
+		v.Set(offset+i, x&(1<<uint(i)) != 0)
+	}
+}
+
+// Uint reads width bits starting at offset as an unsigned integer, least
+// significant bit first.
+func (v *Vector) Uint(offset, width int) uint64 {
+	var x uint64
+	for i := 0; i < width; i++ {
+		if v.Get(offset + i) {
+			x |= 1 << uint(i)
+		}
+	}
+	return x
+}
+
+// String renders the bits most-significant-looking first (index 0 leftmost),
+// matching how ket labels are written in the paper (|v1 v2 ... vn>).
+func (v *Vector) String() string {
+	var b strings.Builder
+	b.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZero(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	for i := 0; i < 130; i++ {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+	}
+	if v.Any() {
+		t.Error("Any() = true for zero vector")
+	}
+	if v.OnesCount() != 0 {
+		t.Errorf("OnesCount = %d, want 0", v.OnesCount())
+	}
+}
+
+func TestSetGetFlip(t *testing.T) {
+	v := New(70)
+	v.Set(0, true)
+	v.Set(63, true)
+	v.Set(64, true)
+	v.Set(69, true)
+	for _, i := range []int{0, 63, 64, 69} {
+		if !v.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if v.OnesCount() != 4 {
+		t.Errorf("OnesCount = %d, want 4", v.OnesCount())
+	}
+	v.Flip(63)
+	if v.Get(63) {
+		t.Error("Flip did not clear bit 63")
+	}
+	v.Flip(63)
+	if !v.Get(63) {
+		t.Error("double Flip did not restore bit 63")
+	}
+	v.Set(64, false)
+	if v.Get(64) {
+		t.Error("Set(false) did not clear bit 64")
+	}
+}
+
+func TestClearAndClone(t *testing.T) {
+	v := New(100)
+	for i := 0; i < 100; i += 3 {
+		v.Set(i, true)
+	}
+	c := v.Clone()
+	if !c.Equal(v) {
+		t.Fatal("clone not equal to original")
+	}
+	v.Clear()
+	if v.Any() {
+		t.Error("Clear left bits set")
+	}
+	if !c.Any() {
+		t.Error("Clear mutated the clone")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a, b := New(65), New(65)
+	a.Set(64, true)
+	b.CopyFrom(a)
+	if !b.Get(64) {
+		t.Error("CopyFrom did not copy bit 64")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CopyFrom with mismatched lengths did not panic")
+		}
+	}()
+	New(3).CopyFrom(New(4))
+}
+
+func TestUintRoundTrip(t *testing.T) {
+	f := func(x uint16, off uint8) bool {
+		offset := int(off % 40)
+		v := New(offset + 16)
+		v.SetUint(offset, 16, uint64(x))
+		return v.Uint(offset, 16) == uint64(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUintPartialWidth(t *testing.T) {
+	v := New(10)
+	v.SetUint(2, 4, 0b1111_1010) // only low 4 bits (1010) should land
+	if got := v.Uint(2, 4); got != 0b1010 {
+		t.Errorf("Uint = %b, want 1010", got)
+	}
+	if v.Get(6) || v.Get(1) {
+		t.Error("SetUint wrote outside its window")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(8)
+	for _, f := range []func(){
+		func() { v.Get(8) },
+		func() { v.Get(-1) },
+		func() { v.Set(8, true) },
+		func() { v.Flip(100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range access")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEqualDifferentLengths(t *testing.T) {
+	if New(5).Equal(New(6)) {
+		t.Error("vectors of different length reported equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := New(6)
+	v.Set(0, true)
+	v.Set(5, true)
+	if got := v.String(); got != "100001" {
+		t.Errorf("String = %q, want 100001", got)
+	}
+}
+
+func TestOnesCountRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := New(500)
+	want := 0
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		idx := rng.Intn(500)
+		if !seen[idx] {
+			seen[idx] = true
+			want++
+			v.Set(idx, true)
+		}
+	}
+	if got := v.OnesCount(); got != want {
+		t.Errorf("OnesCount = %d, want %d", got, want)
+	}
+}
+
+func TestNegativeLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}

@@ -1,0 +1,192 @@
+package club
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/graph"
+	"repro/internal/qarith"
+	"repro/internal/qsim"
+)
+
+// Circuit block labels (same accounting scheme as the k-plex oracle).
+const (
+	BlockEncoding     = "graph-encoding"
+	BlockReachability = "reachability"
+	BlockClubCheck    = "club-check"
+	BlockSizeCheck    = "size-determination"
+)
+
+// Oracle recognises subsets that are n-clubs of size ≥ T — the adaptation
+// of the paper's oracle to distance-based relaxations: the graph-encoding
+// stage is reused unchanged (edge qubits fire when both endpoints are
+// selected, so paths automatically stay inside the subset), degree
+// counting is replaced by an L-hop reachability cascade, and the size
+// stage is reused verbatim.
+type Oracle struct {
+	N int
+	L int // diameter bound
+	T int // size threshold
+
+	circuit *qsim.Circuit
+	vertex  []int
+	clubQ   int
+	sizeQ   int
+	outQ    int
+	fwdEnd  int
+
+	scratch *bitvec.Vector
+}
+
+// constZero marks a reachability entry that is identically |0> (no path of
+// that length exists in the host graph), so it contributes no gates.
+const constZero = -1
+
+// BuildOracle compiles the n-club oracle for graph g with diameter bound L
+// and size threshold T.
+func BuildOracle(g *graph.Graph, L, T int) (*Oracle, error) {
+	n := g.N()
+	if n < 1 {
+		return nil, fmt.Errorf("club: empty graph")
+	}
+	if L < 1 || L >= n {
+		return nil, fmt.Errorf("club: diameter bound L=%d out of range [1,%d)", L, n)
+	}
+	if T < 1 || T > n {
+		return nil, fmt.Errorf("club: T=%d out of range [1,%d]", T, n)
+	}
+	c := qsim.NewCircuit()
+	o := &Oracle{N: n, L: L, T: T, circuit: c}
+	o.vertex = c.AllocReg("v", n)
+
+	pair := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+
+	// Stage 1 — graph encoding (paper's box A, on G itself).
+	c.SetBlock(BlockEncoding)
+	edgeQ := make(map[[2]int]int, g.M())
+	for _, e := range g.Edges() {
+		q := c.Alloc(fmt.Sprintf("e[%d,%d]", e[0]+1, e[1]+1))
+		c.CCX(o.vertex[e[0]], o.vertex[e[1]], q)
+		edgeQ[e] = q
+	}
+
+	// Stage 2 — bounded-hop reachability. reach[t][{u,v}] holds "u and v
+	// are joined by a path of ≤ t intra-subset edges".
+	c.SetBlock(BlockReachability)
+	reach := make(map[[2]int]int, n*n/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if q, ok := edgeQ[pair(u, v)]; ok {
+				reach[pair(u, v)] = q
+			} else {
+				reach[pair(u, v)] = constZero
+			}
+		}
+	}
+	for t := 2; t <= L; t++ {
+		next := make(map[[2]int]int, len(reach))
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				key := pair(u, v)
+				// Terms of the OR: the previous reach bit, plus one
+				// product per intermediate w adjacent to v.
+				var terms []int
+				if prev := reach[key]; prev != constZero {
+					terms = append(terms, prev)
+				}
+				for w := 0; w < n; w++ {
+					if w == u || w == v || !g.HasEdge(w, v) {
+						continue
+					}
+					prevUW := reach[pair(u, w)]
+					if prevUW == constZero {
+						continue
+					}
+					p := c.Alloc(fmt.Sprintf("p%d[%d,%d,%d]", t, u+1, w+1, v+1))
+					c.CCX(prevUW, edgeQ[pair(w, v)], p)
+					terms = append(terms, p)
+				}
+				if len(terms) == 0 {
+					next[key] = constZero
+					continue
+				}
+				// OR by De Morgan: flip out when every term is |0>,
+				// then invert.
+				out := c.Alloc(fmt.Sprintf("r%d[%d,%d]", t, u+1, v+1))
+				ctrls := make([]qsim.Control, len(terms))
+				for i, q := range terms {
+					ctrls[i] = qsim.Off(q)
+				}
+				c.MCX(ctrls, out)
+				c.X(out)
+				next[key] = out
+			}
+		}
+		reach = next
+	}
+
+	// Stage 3 — club check: a selected pair with no ≤L-hop connection is
+	// a violation; the club flag requires zero violations.
+	c.SetBlock(BlockClubCheck)
+	var bads []int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			bad := c.Alloc(fmt.Sprintf("bad[%d,%d]", u+1, v+1))
+			ctrls := []qsim.Control{qsim.On(o.vertex[u]), qsim.On(o.vertex[v])}
+			if r := reach[pair(u, v)]; r != constZero {
+				ctrls = append(ctrls, qsim.Off(r))
+			}
+			c.MCX(ctrls, bad)
+			bads = append(bads, bad)
+		}
+	}
+	o.clubQ = c.Alloc("club")
+	ctrls := make([]qsim.Control, len(bads))
+	for i, q := range bads {
+		ctrls[i] = qsim.Off(q)
+	}
+	c.MCX(ctrls, o.clubQ)
+
+	// Stage 4 — size determination, verbatim from the k-plex oracle.
+	c.SetBlock(BlockSizeCheck)
+	width := qarith.WidthFor(n)
+	acc := qarith.NewAccumulator(c, "size", width)
+	for _, vq := range o.vertex {
+		acc.AddBit(c, vq)
+	}
+	tReg := qarith.LoadConst(c, "T", T, width)
+	o.sizeQ = qarith.GreaterOrEqual(c, acc.Bits(), tReg)
+	o.outQ = c.Alloc("oracle")
+	c.CCX(o.clubQ, o.sizeQ, o.outQ)
+
+	o.fwdEnd = c.Len() - 1
+	c.AppendInverse(0, o.fwdEnd)
+	o.scratch = bitvec.New(c.NumQubits())
+	return o, nil
+}
+
+// Marked evaluates the oracle predicate for one subset mask (paper ket
+// convention). Not safe for concurrent use.
+func (o *Oracle) Marked(mask uint64) bool {
+	st := o.scratch
+	st.Clear()
+	for i := 0; i < o.N; i++ {
+		st.Set(o.vertex[i], mask&(1<<uint(o.N-1-i)) != 0)
+	}
+	o.circuit.RunReversibleRange(st, 0, o.fwdEnd, nil)
+	return st.Get(o.clubQ) && st.Get(o.sizeQ)
+}
+
+// TotalGates returns the gate count of one oracle call.
+func (o *Oracle) TotalGates() int { return o.circuit.Len() }
+
+// NumQubits returns the compiled circuit width.
+func (o *Oracle) NumQubits() int { return o.circuit.NumQubits() }
+
+// ComponentGates returns per-stage gate counts.
+func (o *Oracle) ComponentGates() map[string]int { return o.circuit.GateCounts() }

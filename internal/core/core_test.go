@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kplex"
+	"repro/internal/oracle"
+)
+
+func TestQTKPOnExample(t *testing.T) {
+	g := graph.Example6()
+	res, err := QTKP(g, 2, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("QTKP did not find the size-4 2-plex")
+	}
+	want := []int{0, 1, 3, 4}
+	if len(res.Set) != 4 {
+		t.Fatalf("Set = %v", res.Set)
+	}
+	for i, v := range want {
+		if res.Set[i] != v {
+			t.Fatalf("Set = %v, want %v", res.Set, want)
+		}
+	}
+	if res.M != 1 {
+		t.Errorf("M = %d, want 1", res.M)
+	}
+	if res.Iterations != 6 {
+		t.Errorf("Iterations = %d, want 6 (paper Fig. 9)", res.Iterations)
+	}
+	if res.ErrorProbability > 0.01 {
+		t.Errorf("ErrorProbability = %v, want < 0.01", res.ErrorProbability)
+	}
+	if res.QPUTime <= 0 || res.Gates <= 0 {
+		t.Error("cost accounting missing")
+	}
+}
+
+func TestQTKPAbsence(t *testing.T) {
+	g := graph.Example6()
+	res, err := QTKP(g, 2, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Errorf("QTKP claimed a size-5 2-plex exists: %v", res.Set)
+	}
+}
+
+func TestQTKPWithQuantumCounting(t *testing.T) {
+	g := graph.Example6()
+	res, err := QTKP(g, 2, 4, &GateOptions{QuantumCounting: true, CountingQubits: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("QTKP with quantum counting failed")
+	}
+	if res.M < 1 || res.M > 2 {
+		t.Errorf("quantum counting estimated M = %d, want ≈ 1", res.M)
+	}
+}
+
+func TestQMKPMatchesClassicalOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		n := 6 + rng.Intn(3)
+		g := graph.Gnp(n, 0.45, rng.Int63())
+		for k := 1; k <= 3; k++ {
+			want, err := kplex.Naive(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := QMKP(g, k, &GateOptions{Rng: rand.New(rand.NewSource(rng.Int63()))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Size != want.Size {
+				t.Fatalf("n=%d k=%d: QMKP size %d != optimum %d", n, k, got.Size, want.Size)
+			}
+			if !g.IsKPlex(got.Set, k) {
+				t.Fatalf("QMKP returned non-k-plex %v", got.Set)
+			}
+		}
+	}
+}
+
+func TestQMKPProgressiveGuarantee(t *testing.T) {
+	// The first feasible solution must be at least half the optimum and
+	// must arrive within a strict minority of the total modelled time.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Gnp(8, 0.5, rng.Int63())
+		res, err := QMKP(g, 2, &GateOptions{Rng: rand.New(rand.NewSource(rng.Int63()))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FirstFeasible == nil {
+			t.Fatal("no feasible probe recorded (every graph has a 1-plex of size 1)")
+		}
+		if 2*res.FirstFeasible.Size < res.Size {
+			t.Errorf("first feasible size %d < half of optimum %d",
+				res.FirstFeasible.Size, res.Size)
+		}
+		if res.FirstFeasible.CumGates > res.Gates {
+			t.Error("cumulative accounting out of order")
+		}
+	}
+}
+
+func TestQMKPOnPaperDatasets(t *testing.T) {
+	// Table II: max 2-plex sizes 4, 4, 5, 6.
+	wants := map[string]int{"G_{7,8}": 4, "G_{8,10}": 4, "G_{9,15}": 5, "G_{10,23}": 6}
+	for _, d := range graph.GateDatasets() {
+		want, ok := wants[d.Name]
+		if !ok {
+			continue
+		}
+		res, err := QMKP(d.Build(), 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Size != want {
+			t.Errorf("%s: QMKP size %d, want %d", d.Name, res.Size, want)
+		}
+	}
+}
+
+func TestQMKPValidation(t *testing.T) {
+	if _, err := QMKP(graph.New(0), 1, nil); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := QMKP(graph.Example6(), 0, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := QMKP(graph.Example6(), 7, nil); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestOracleBreakdownShares(t *testing.T) {
+	g := graph.Example6()
+	counts, err := OracleBreakdown(g, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("empty breakdown")
+	}
+	if counts[oracle.BlockDegreeCount] <= counts[oracle.BlockDegreeCompare] {
+		t.Error("degree counting should dominate degree comparison (Table IV)")
+	}
+}
+
+func TestQMKPDeterministicWithFixedSeed(t *testing.T) {
+	g := graph.Example6()
+	a, err := QMKP(g, 2, &GateOptions{Rng: rand.New(rand.NewSource(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := QMKP(g, 2, &GateOptions{Rng: rand.New(rand.NewSource(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size != b.Size || a.Gates != b.Gates || len(a.Progress) != len(b.Progress) {
+		t.Error("QMKP not deterministic under a fixed seed")
+	}
+}
+
+func TestQMKPWithClassicalBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 8; trial++ {
+		g := graph.Gnp(8, 0.5, rng.Int63())
+		plain, err := QMKP(g, 2, &GateOptions{Rng: rand.New(rand.NewSource(1))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounded, err := QMKP(g, 2, &GateOptions{Rng: rand.New(rand.NewSource(1)), UseClassicalBounds: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bounded.Size != plain.Size {
+			t.Fatalf("bounded size %d != plain %d", bounded.Size, plain.Size)
+		}
+		if !g.IsKPlex(bounded.Set, 2) {
+			t.Fatalf("bounded QMKP returned non-2-plex %v", bounded.Set)
+		}
+		// The narrowed window cannot need more probes than the full one
+		// (it may still spend comparable oracle calls inside a probe).
+		if len(bounded.Progress) > len(plain.Progress) {
+			t.Errorf("bounds increased probe count: %d > %d",
+				len(bounded.Progress), len(plain.Progress))
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/anneal"
+	"repro/internal/embedding"
+	"repro/internal/graph"
+	"repro/internal/qubo"
+)
+
+// AnnealOptions tunes QAMKP (Algorithm 4). Zero values select the paper's
+// defaults (R = 2, Δt = 1, annealing on the logical problem).
+type AnnealOptions struct {
+	// R is the penalty strength; must exceed 1 (Section IV-B3). The
+	// paper's experimentally best value, 2, is the default.
+	R float64
+	// DeltaT is the per-shot anneal time, the analogue of the paper's
+	// annealing time Δt in µs; each modelled microsecond buys
+	// SweepsPerMicrosecond Monte-Carlo sweeps of the SQA substrate.
+	// Default 1.
+	DeltaT int
+	// Shots is the number of anneals s; total modelled runtime is
+	// DeltaT·Shots, exactly the paper's budget arithmetic. Default 100.
+	Shots int
+	Seed  int64
+	// Sampler selects the annealing backend: "sqa" (default; the QPU
+	// stand-in), "sa" (classical baseline), or "hybrid".
+	Sampler string
+	// Embed routes the QUBO through a minor embedding onto the modelled
+	// hardware graph before annealing — the full QPU pipeline with chain
+	// couplings and majority-vote unembedding.
+	Embed bool
+	// ChainStrength overrides the auto chain coupling when embedding.
+	ChainStrength float64
+}
+
+func (o *AnnealOptions) annealDefaults() AnnealOptions {
+	out := AnnealOptions{}
+	if o != nil {
+		out = *o
+	}
+	if out.R == 0 {
+		out.R = 2
+	}
+	if out.DeltaT <= 0 {
+		out.DeltaT = 1
+	}
+	if out.Shots <= 0 {
+		out.Shots = 100
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if out.Sampler == "" {
+		out.Sampler = "sqa"
+	}
+	return out
+}
+
+// SweepsPerMicrosecond calibrates the Δt analogue: one modelled µs of
+// annealing time runs this many Monte-Carlo sweeps (DESIGN.md; a physical
+// 1 µs anneal is a complete, if fast, evolution, not a single sweep).
+const SweepsPerMicrosecond = 10
+
+// QAResult is the outcome of QAMKP.
+type QAResult struct {
+	Set   []int // decoded vertex set of the best-cost assignment
+	Size  int
+	Valid bool    // the decoded set is a genuine k-plex
+	Cost  float64 // best objective value (Eq. objective)
+
+	// BestValidSet is the largest genuine k-plex decoded from ANY
+	// readout, which need not be the best-cost one: the paper notes the
+	// annealer can find the optimal solution without optimally
+	// configuring the slack variables (Section IV-C).
+	BestValidSet []int
+
+	// Trace is the best cost after each shot — the anytime curve.
+	Trace []float64
+
+	// Model accounting (the paper's qubit-utilization story).
+	Variables int // n + slack bits
+	SlackVars int
+
+	// EmbedStats is set when Embed was requested.
+	EmbedStats *embedding.Stats
+}
+
+// QAMKP finds a (maximum) k-plex by quantum annealing on the QUBO
+// reformulation (Algorithm 4). Annealing is an anytime approximation: the
+// caller chooses the budget via DeltaT and Shots.
+func QAMKP(g *graph.Graph, k int, opt *AnnealOptions) (QAResult, error) {
+	o := opt.annealDefaults()
+	enc, err := qubo.FormulateMKP(g, k, o.R)
+	if err != nil {
+		return QAResult{}, err
+	}
+	out := QAResult{
+		Variables: enc.Model.N(),
+		SlackVars: enc.NumSlackVars(),
+	}
+
+	var bestValid []int
+	onSample := func(x []bool, _ float64) {
+		set, valid := enc.DecodeValid(x)
+		if valid && len(set) > len(bestValid) {
+			bestValid = append([]int(nil), set...)
+		}
+	}
+	params := anneal.Params{
+		Shots:    o.Shots,
+		Sweeps:   o.DeltaT * SweepsPerMicrosecond,
+		Seed:     o.Seed,
+		OnSample: onSample,
+	}
+	var res anneal.Result
+	switch {
+	case o.Embed:
+		emb, _, err := EmbedOnHardware(enc.Model, o.Seed)
+		if err != nil {
+			return QAResult{}, err
+		}
+		stats := emb.Stats()
+		out.EmbedStats = &stats
+		res, err = embedding.SampleEmbedded(enc.Model, emb, o.ChainStrength, params)
+		if err != nil {
+			return QAResult{}, err
+		}
+	case o.Sampler == "sqa":
+		res, err = anneal.SQA(enc.Model, params)
+	case o.Sampler == "sa":
+		res, err = anneal.SA(enc.Model, params)
+	case o.Sampler == "hybrid":
+		h, herr := anneal.Hybrid(enc.Model, anneal.HybridParams{Seed: o.Seed})
+		if herr != nil {
+			return QAResult{}, herr
+		}
+		res = anneal.Result{Best: h.Best, BestAfterShot: []float64{h.Best.Energy}}
+	default:
+		return QAResult{}, fmt.Errorf("core: unknown sampler %q", o.Sampler)
+	}
+	if err != nil {
+		return QAResult{}, err
+	}
+
+	out.Cost = res.Best.Energy
+	out.Trace = res.BestAfterShot
+	out.Set, out.Valid = enc.DecodeValid(res.Best.X)
+	out.Size = len(out.Set)
+	if set, valid := enc.DecodeValid(res.Best.X); valid && len(set) > len(bestValid) {
+		bestValid = set
+	}
+	out.BestValidSet = bestValid
+	return out, nil
+}
+
+// cmrVariableLimit bounds the heuristic router: beyond this many logical
+// variables the CMR passes converge too slowly on a single core, so
+// EmbedOnHardware goes straight to the deterministic clique embedding (the
+// standard practice for dense problems on real annealers).
+const cmrVariableLimit = 120
+
+// EmbedOnHardware embeds the model into Chimera-class hardware (degree-10
+// cells, the Advantage-class connectivity of DESIGN.md): the CMR heuristic
+// on the smallest grid that accepts it, falling back to the deterministic
+// TRIAD clique embedding for large or stubbornly dense models.
+func EmbedOnHardware(m *qubo.Model, seed int64) (*embedding.Embedding, *embedding.Hardware, error) {
+	const cell = 8
+	if m.N() <= cmrVariableLimit {
+		for _, size := range []int{3, 4, 6, 8, 12, 16} {
+			hw := embedding.Chimera(size, cell)
+			// Need headroom over one qubit per variable; tight grids
+			// are tried first because they yield the shortest chains
+			// (and fail fast when too tight).
+			if hw.N < 2*m.N() {
+				continue
+			}
+			if emb, err := embedding.Embed(m, hw, seed); err == nil {
+				return emb, hw, nil
+			}
+		}
+	}
+	grid := embedding.CliqueGridFor(m.N(), cell)
+	hw := embedding.Chimera(grid, cell)
+	emb, err := embedding.CliqueEmbed(m.N(), hw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: model with %d variables does not embed: %w", m.N(), err)
+	}
+	return emb, hw, nil
+}

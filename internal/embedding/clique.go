@@ -1,0 +1,49 @@
+package embedding
+
+import (
+	"fmt"
+)
+
+// CliqueEmbed returns the deterministic TRIAD-style embedding of numVars
+// variables with complete connectivity into the Chimera hardware: variable
+// v = b·L + o owns the vertical run of shore-0 qubits at offset o down
+// column b plus the horizontal run of shore-1 qubits at offset o along row
+// b. The two runs meet (and couple) in cell (b, b); any two chains meet in
+// the cell indexed by their blocks. Chains are uniform with 2·M qubits.
+//
+// Because every pair of chains is adjacent, the embedding is valid for ANY
+// interaction structure — it is the guaranteed fallback when the CMR
+// heuristic fails on dense models (exactly how dense problems are run on
+// real annealers).
+func CliqueEmbed(numVars int, hw *Hardware) (*Embedding, error) {
+	if numVars < 1 {
+		return nil, fmt.Errorf("embedding: no variables")
+	}
+	if numVars > hw.M*hw.L {
+		return nil, fmt.Errorf("embedding: %d variables exceed Chimera(%d,%d) clique capacity %d",
+			numVars, hw.M, hw.L, hw.M*hw.L)
+	}
+	e := &Embedding{Chains: make([][]int, numVars), hw: hw}
+	for v := 0; v < numVars; v++ {
+		b, o := v/hw.L, v%hw.L
+		chain := make([]int, 0, 2*hw.M)
+		for r := 0; r < hw.M; r++ {
+			chain = append(chain, hw.QubitID(r, b, 0, o))
+		}
+		for c := 0; c < hw.M; c++ {
+			chain = append(chain, hw.QubitID(b, c, 1, o))
+		}
+		e.Chains[v] = chain
+	}
+	return e, nil
+}
+
+// CliqueGridFor returns the smallest Chimera grid dimension m such that
+// Chimera(m, l) accepts a clique embedding of numVars variables.
+func CliqueGridFor(numVars, l int) int {
+	m := (numVars + l - 1) / l
+	if m < 1 {
+		m = 1
+	}
+	return m
+}

@@ -1,0 +1,99 @@
+// Package embedding models the hardware side of the annealing substrate:
+// a Chimera-family hardware graph, a Cai–Macready–Roy-style heuristic
+// minor embedder producing qubit chains, construction of the physical
+// Ising (chain couplings included), and majority-vote unembedding.
+//
+// The paper runs on D-Wave Advantage (Pegasus topology, degree 15) and
+// reports binary-variable count, physical qubit count, and average chain
+// size versus graph size (Fig. 13). We embed on Chimera C_{m} with
+// parametrizable cell size (degree l+2); chains come out somewhat longer
+// than on Pegasus, but the trends the paper reports — variables growing as
+// O(n log n), physical qubits growing much faster, average chain size
+// rising with n — are topology-independent and reproduced here.
+package embedding
+
+import (
+	"fmt"
+)
+
+// Hardware is an undirected hardware graph over qubits 0..N-1.
+type Hardware struct {
+	N   int
+	M   int // Chimera grid dimension
+	L   int // Chimera cell size (degree ≤ L+2)
+	adj [][]int
+}
+
+// Chimera builds a Chimera graph C_{m,m,l}: an m×m grid of K_{l,l} unit
+// cells. Within a cell the l "left" qubits connect to the l "right"
+// qubits; left qubits connect vertically between row-adjacent cells and
+// right qubits horizontally between column-adjacent cells. Qubit degree is
+// at most l+2.
+func Chimera(m, l int) *Hardware {
+	if m < 1 || l < 1 {
+		panic(fmt.Sprintf("embedding: invalid Chimera(%d,%d)", m, l))
+	}
+	n := m * m * 2 * l
+	h := &Hardware{N: n, M: m, L: l, adj: make([][]int, n)}
+	id := func(row, col, side, k int) int {
+		return ((row*m+col)*2+side)*l + k
+	}
+	addEdge := func(a, b int) {
+		h.adj[a] = append(h.adj[a], b)
+		h.adj[b] = append(h.adj[b], a)
+	}
+	for row := 0; row < m; row++ {
+		for col := 0; col < m; col++ {
+			// Intra-cell bipartite couplers.
+			for a := 0; a < l; a++ {
+				for b := 0; b < l; b++ {
+					addEdge(id(row, col, 0, a), id(row, col, 1, b))
+				}
+			}
+			// Inter-cell couplers.
+			if row+1 < m {
+				for k := 0; k < l; k++ {
+					addEdge(id(row, col, 0, k), id(row+1, col, 0, k))
+				}
+			}
+			if col+1 < m {
+				for k := 0; k < l; k++ {
+					addEdge(id(row, col, 1, k), id(row, col+1, 1, k))
+				}
+			}
+		}
+	}
+	return h
+}
+
+// Neighbors returns the adjacency list of qubit q.
+func (h *Hardware) Neighbors(q int) []int { return h.adj[q] }
+
+// HasEdge reports whether qubits a and b share a coupler.
+func (h *Hardware) HasEdge(a, b int) bool {
+	for _, x := range h.adj[a] {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// NumCouplers returns the number of couplers.
+func (h *Hardware) NumCouplers() int {
+	c := 0
+	for _, a := range h.adj {
+		c += len(a)
+	}
+	return c / 2
+}
+
+// QubitID returns the physical index of cell (row, col), side (0 = the
+// vertically-coupled "left" shore, 1 = the horizontally-coupled "right"
+// shore), offset k within the shore.
+func (h *Hardware) QubitID(row, col, side, k int) int {
+	if row < 0 || row >= h.M || col < 0 || col >= h.M || side < 0 || side > 1 || k < 0 || k >= h.L {
+		panic(fmt.Sprintf("embedding: qubit coordinate (%d,%d,%d,%d) out of Chimera(%d,%d)", row, col, side, k, h.M, h.L))
+	}
+	return ((row*h.M+col)*2+side)*h.L + k
+}

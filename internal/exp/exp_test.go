@@ -1,0 +1,221 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var quick = Config{Quick: true, Seed: 1}
+
+func runAndRender(t *testing.T, name string) (Result, string) {
+	t.Helper()
+	r, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r(quick)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatalf("%s render: %v", name, err)
+	}
+	return res, buf.String()
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig11", "fig12", "fig13", "fig9",
+		"table1", "table2", "table3", "table4", "table5", "table6", "table7"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res, out := runAndRender(t, "table1")
+	if len(res.Table.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Table.Rows))
+	}
+	if !strings.Contains(out, "solved, size 6") {
+		t.Errorf("qMKP row missing expected size 6:\n%s", out)
+	}
+}
+
+func TestFig9(t *testing.T) {
+	res, _ := runAndRender(t, "fig9")
+	f := res.Figure
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d, want 4 (iterations 0,1,3,6)", len(f.Series))
+	}
+	// Before iteration: roughly uniform. Final iteration: mass on 54.
+	first, last := f.Series[0], f.Series[3]
+	if len(first.Y) != 64 {
+		t.Fatalf("series length %d, want 64", len(first.Y))
+	}
+	total := 0.0
+	for _, y := range last.Y {
+		total += y
+	}
+	if last.Y[54] < 0.98*total {
+		t.Errorf("final distribution: solution has %v of %v shots, want ≥ 98%%", last.Y[54], total)
+	}
+	maxFirst := 0.0
+	for _, y := range first.Y {
+		if y > maxFirst {
+			maxFirst = y
+		}
+	}
+	if maxFirst > 0.1*total {
+		t.Errorf("initial distribution not uniform: max bin %v of %v", maxFirst, total)
+	}
+}
+
+func TestTable2ShapeHolds(t *testing.T) {
+	res, _ := runAndRender(t, "table2")
+	rows := res.Table.Rows
+	// Row 0: sizes 4,4,5,6.
+	wantSizes := []string{"4", "4", "5", "6"}
+	for i, w := range wantSizes {
+		if rows[0][i+1] != w {
+			t.Errorf("size[%d] = %s, want %s", i, rows[0][i+1], w)
+		}
+	}
+	// First-result size at least half the optimum.
+	for col := 1; col <= 4; col++ {
+		opt, _ := strconv.Atoi(rows[0][col])
+		first, _ := strconv.Atoi(rows[4][col])
+		if 2*first < opt {
+			t.Errorf("col %d: first-result size %d < half of %d", col, first, opt)
+		}
+	}
+}
+
+func TestTable4DegreeCountDominates(t *testing.T) {
+	res, _ := runAndRender(t, "table4")
+	row := res.Table.Rows[0] // degree count shares
+	for i := 1; i < len(row); i++ {
+		v, err := strconv.ParseFloat(row[i], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 50 {
+			t.Errorf("degree-count share %s = %v%%, expected dominant", res.Table.Header[i], v)
+		}
+	}
+}
+
+func TestTable5RowsAndColumns(t *testing.T) {
+	res, _ := runAndRender(t, "table5")
+	if len(res.Table.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 datasets", len(res.Table.Rows))
+	}
+	for _, row := range res.Table.Rows {
+		if len(row) != len(res.Table.Header) {
+			t.Fatalf("ragged row: %v", row)
+		}
+	}
+}
+
+func TestTable6MarksOptima(t *testing.T) {
+	res, out := runAndRender(t, "table6")
+	if len(res.Table.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 R values", len(res.Table.Rows))
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no run reached the optimum — R=2 should within the quick budget")
+	}
+}
+
+func TestFig11SeriesPresent(t *testing.T) {
+	res, _ := runAndRender(t, "fig11")
+	names := map[string]bool{}
+	for _, s := range res.Figure.Series {
+		names[s.Name] = true
+		if len(s.X) == 0 {
+			t.Errorf("series %q empty", s.Name)
+		}
+	}
+	for _, want := range []string{"qaMKP (SQA, Δt=1µs)", "SA (2 sweeps/shot)", "MILP (exact B&B)", "haMKP (hybrid, single point)"} {
+		if !names[want] {
+			t.Errorf("missing series %q (have %v)", want, names)
+		}
+	}
+	// Annealer traces must be non-increasing.
+	for _, s := range res.Figure.Series[:2] {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1]+1e-9 {
+				t.Errorf("%s: cost increases along the trace", s.Name)
+			}
+		}
+	}
+}
+
+func TestTable7CostDecreasesWithRuntime(t *testing.T) {
+	res, _ := runAndRender(t, "table7")
+	for _, row := range res.Table.Rows {
+		first, _ := strconv.ParseFloat(row[1], 64)
+		last, _ := strconv.ParseFloat(row[len(row)-1], 64)
+		if last > first {
+			t.Errorf("k=%s: cost grew with runtime (%v -> %v)", row[0], first, last)
+		}
+	}
+}
+
+func TestFig13Trends(t *testing.T) {
+	res, _ := runAndRender(t, "fig13")
+	var vars, phys, chain Series
+	for _, s := range res.Figure.Series {
+		switch {
+		case strings.HasPrefix(s.Name, "binary"):
+			vars = s
+		case strings.HasPrefix(s.Name, "physical"):
+			phys = s
+		case strings.HasPrefix(s.Name, "average"):
+			chain = s
+		}
+	}
+	n := len(vars.Y)
+	if n < 3 {
+		t.Fatalf("too few sweep points: %d", n)
+	}
+	if !(vars.Y[n-1] > vars.Y[0]) {
+		t.Error("variable count did not grow with n")
+	}
+	if !(phys.Y[n-1] > phys.Y[0]) {
+		t.Error("physical qubits did not grow with n")
+	}
+	// Physical qubits grow faster than variables (the chain overhead).
+	if phys.Y[n-1]/phys.Y[0] <= vars.Y[n-1]/vars.Y[0] {
+		t.Error("physical qubits should outgrow variables")
+	}
+	if chain.Y[n-1] <= 1 {
+		t.Error("average chain should exceed 1 at the largest n")
+	}
+}
+
+func TestLogIndices(t *testing.T) {
+	idx := logIndices(1000)
+	if idx[0] != 0 || idx[len(idx)-1] != 999 {
+		t.Fatalf("logIndices(1000) = %v", idx)
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i] <= idx[i-1] {
+			t.Fatalf("not strictly increasing: %v", idx)
+		}
+	}
+	if got := logIndices(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("logIndices(1) = %v", got)
+	}
+}

@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one of the paper's tables or figures.
+type Runner func(Config) (Result, error)
+
+var registry = map[string]Runner{
+	"table1": Table1,
+	"table2": Table2,
+	"table3": Table3,
+	"table4": Table4,
+	"table5": Table5,
+	"table6": Table6,
+	"table7": Table7,
+	"fig9":   Fig9,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"fig13":  Fig13,
+}
+
+// Names lists the registered experiment ids, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the runner for an experiment id.
+func Lookup(name string) (Runner, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", name, Names())
+	}
+	return r, nil
+}

@@ -1,0 +1,151 @@
+// Package exp is the benchmark harness: one driver per table and figure of
+// the paper's evaluation section (Section V), producing text renderings of
+// the same rows and series the paper reports. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured numbers.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result in tabular form.
+type Table struct {
+	ID     string // e.g. "table2"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, w int) string {
+	if d := w - len([]rune(s)); d > 0 {
+		return s + strings.Repeat(" ", d)
+	}
+	return s
+}
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a rendered experiment result in curve form.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Render writes every series as (x, y) rows — the data behind the paper's
+// plot, reproducible by any plotting tool.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "x: %s, y: %s\n", f.XLabel, f.YLabel); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		if _, err := fmt.Fprintf(w, "-- %s --\n", s.Name); err != nil {
+			return err
+		}
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "  %16.6g  %16.6g\n", s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	for _, n := range f.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Result is either a table or a figure.
+type Result struct {
+	Table  *Table
+	Figure *Figure
+}
+
+// Render writes whichever member is set.
+func (r Result) Render(w io.Writer) error {
+	if r.Table != nil {
+		return r.Table.Render(w)
+	}
+	if r.Figure != nil {
+		return r.Figure.Render(w)
+	}
+	return fmt.Errorf("exp: empty result")
+}
+
+// Config scales experiments: Quick mode shrinks shot counts and sweep
+// ranges so the full suite runs in CI time; the full mode reproduces the
+// paper's budgets.
+type Config struct {
+	Quick bool
+	Seed  int64
+}
+
+func (c Config) seed() int64 {
+	if c.Seed == 0 {
+		return 1
+	}
+	return c.Seed
+}

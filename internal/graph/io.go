@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The text format is a simplified DIMACS edge list:
+//
+//	# comments start with # or c
+//	p <n> <m>
+//	e <u> <v>
+//
+// Vertices in files are 1-based (DIMACS convention, and the paper's v1..vn
+// labelling); in-memory graphs are 0-based.
+
+// Read parses a graph from r.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	var g *Graph
+	edges := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "c") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "p":
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate problem line", line)
+			}
+			var n, m int
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want 'p <n> <m>'", line)
+			}
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &n, &m); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			g = New(n)
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before problem line", line)
+			}
+			var u, v int
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want 'e <u> <v>'", line)
+			}
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &u, &v); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			if u < 1 || u > g.n || v < 1 || v > g.n {
+				return nil, fmt.Errorf("graph: line %d: vertex out of range 1..%d", line, g.n)
+			}
+			if u == v {
+				return nil, fmt.Errorf("graph: line %d: self-loop at %d", line, u)
+			}
+			g.AddEdge(u-1, v-1)
+			edges++
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: missing problem line")
+	}
+	return g, nil
+}
+
+// Write serialises g in the text format accepted by Read.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p %d %d\n", g.n, g.m); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "e %d %d\n", e[0]+1, e[1]+1); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,60 @@
+package graph
+
+// IsKPlex reports whether set is a k-plex in g: every v ∈ set has at least
+// |set|-k neighbours inside set. Following Definition 1, the empty set and
+// any single vertex are k-plexes for every k ≥ 1.
+func (g *Graph) IsKPlex(set []int, k int) bool {
+	if k < 1 {
+		return false
+	}
+	s := len(set)
+	for _, v := range set {
+		if g.InducedDegree(v, set) < s-k {
+			return false
+		}
+	}
+	return true
+}
+
+// IsKCplex reports whether set is a k-cplex in g: every v ∈ set has at most
+// k-1 neighbours inside set. A set is a k-plex of G exactly when it is a
+// k-cplex of the complement Ḡ.
+func (g *Graph) IsKCplex(set []int, k int) bool {
+	if k < 1 {
+		return false
+	}
+	for _, v := range set {
+		if g.InducedDegree(v, set) > k-1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsKPlexMask is IsKPlex for a bitmask-encoded subset (paper's ket
+// convention; see MaskSubset).
+func (g *Graph) IsKPlexMask(mask uint64, k int) bool {
+	return g.IsKPlex(MaskSubset(mask, g.n), k)
+}
+
+// CountKPlexesOfSize returns the number of k-plexes with exactly size T and
+// the number with size ≥ T, by exhaustive enumeration over all 2^n subsets.
+// It is the classical ground truth used to size Grover iteration counts in
+// tests and to validate the quantum counting routine. Exponential: intended
+// for n ≤ ~22.
+func (g *Graph) CountKPlexesOfSize(k, T int) (exactly, atLeast int) {
+	n := g.n
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		set := MaskSubset(mask, n)
+		if len(set) < T {
+			continue
+		}
+		if g.IsKPlex(set, k) {
+			atLeast++
+			if len(set) == T {
+				exactly++
+			}
+		}
+	}
+	return exactly, atLeast
+}

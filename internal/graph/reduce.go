@@ -1,0 +1,119 @@
+package graph
+
+// Reduction utilities. The paper integrates the core–truss co-pruning
+// technique of Chang et al. to shrink inputs before handing them to the
+// quantum algorithms ("making the datasets suitable for current simulators
+// after graph reduction"), and notes that qMKP is orthogonal to such
+// reductions: any reduction that preserves some maximum k-plex leaves the
+// algorithms' answers intact.
+//
+// Both rules below are standard and safe when searching for a k-plex of
+// size ≥ q:
+//
+//   - vertex (core) rule: every vertex of a k-plex of size q has degree
+//     ≥ q-k inside it, hence degree ≥ q-k in G; iterating yields the
+//     (q-k)-core.
+//   - edge (truss) rule: both endpoints of an edge inside a k-plex of size
+//     q miss at most k-1 vertices each, so the endpoints share at least
+//     q-2k common neighbours inside it; edges with fewer than q-2k common
+//     neighbours in G cannot lie inside it.
+
+// Reduction describes the outcome of a reduction pass.
+type Reduction struct {
+	Graph    *Graph // reduced graph, re-indexed
+	Vertices []int  // Vertices[i] = original id of reduced vertex i
+	Removed  int    // vertices removed
+}
+
+// CoreReduce iteratively removes vertices with degree < q-k, the vertex
+// rule for a target k-plex size of q.
+func (g *Graph) CoreReduce(k, q int) Reduction {
+	alive := make([]bool, g.n)
+	deg := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		alive[v] = true
+		deg[v] = g.deg[v]
+	}
+	threshold := q - k
+	changed := true
+	for changed {
+		changed = false
+		for v := 0; v < g.n; v++ {
+			if alive[v] && deg[v] < threshold {
+				alive[v] = false
+				changed = true
+				for u := 0; u < g.n; u++ {
+					if alive[u] && g.adj[v].Get(u) {
+						deg[u]--
+					}
+				}
+			}
+		}
+	}
+	return g.buildReduction(alive)
+}
+
+// CoTrussPrune applies the vertex and edge rules alternately until a fixed
+// point, for a target k-plex size of q. This is the reproduction of the
+// core–truss co-pruning pass the paper integrates before running qMKP.
+func (g *Graph) CoTrussPrune(k, q int) Reduction {
+	work := g.Clone()
+	alive := make([]bool, g.n)
+	for v := range alive {
+		alive[v] = true
+	}
+	vertexThreshold := q - k
+	edgeThreshold := q - 2*k
+	for {
+		changed := false
+		// Vertex rule.
+		for v := 0; v < work.n; v++ {
+			if alive[v] && work.deg[v] < vertexThreshold {
+				alive[v] = false
+				changed = true
+				for _, u := range work.Neighbors(v) {
+					work.RemoveEdge(v, u)
+				}
+			}
+		}
+		// Edge rule (only meaningful when q > 2k).
+		if edgeThreshold > 0 {
+			for _, e := range work.Edges() {
+				if !alive[e[0]] || !alive[e[1]] {
+					continue
+				}
+				if work.CommonNeighbors(e[0], e[1]) < edgeThreshold {
+					work.RemoveEdge(e[0], e[1])
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// A vertex stripped of enough edges may itself be removable; rebuild
+	// from the worked graph restricted to alive vertices.
+	red := work.buildReduction(alive)
+	return red
+}
+
+func (g *Graph) buildReduction(alive []bool) Reduction {
+	var keep []int
+	for v := 0; v < g.n; v++ {
+		if alive[v] {
+			keep = append(keep, v)
+		}
+	}
+	sub, ids := g.InducedSubgraph(keep)
+	return Reduction{Graph: sub, Vertices: ids, Removed: g.n - len(keep)}
+}
+
+// LiftSet maps a vertex set of the reduced graph back to original ids.
+func (r Reduction) LiftSet(set []int) []int {
+	out := make([]int, len(set))
+	for i, v := range set {
+		out[i] = r.Vertices[v]
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+// Package grover implements Grover search (Algorithm 1 of the paper) over
+// the hybrid simulator: a dense statevector on the n vertex qubits with
+// the oracle evaluated as an exact ±1 phase per basis state (see
+// internal/oracle and DESIGN.md for why this is gate-for-gate equivalent
+// to simulating the full circuit).
+//
+// It also provides the two companions the paper relies on: quantum
+// counting (Brassard et al.) to estimate the number of solutions M, and
+// the BBHT exponential search loop for unknown M.
+package grover
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/qsim"
+)
+
+// Predicate reports whether a basis state is a solution. Implementations
+// must be deterministic.
+type Predicate func(mask uint64) bool
+
+// Stats accumulates the cost accounting of a search.
+type Stats struct {
+	Iterations  int   // Grover iterations applied
+	OracleCalls int   // oracle applications (= iterations, plus verification shots)
+	Gates       int64 // total gates executed (oracle + diffusion), modelled
+}
+
+// Engine drives Grover iterations for one fixed oracle.
+type Engine struct {
+	n      int
+	pred   Predicate
+	sv     *qsim.Statevector
+	stats  Stats
+	perOrc int64 // gates per oracle call
+	perDif int64 // gates per diffusion application
+}
+
+// NewEngine prepares the equal superposition of 2^n states (Fig. 4a).
+// gatesPerOracle is the gate cost of one oracle call, used for modelled
+// QPU-time accounting (pass 0 if irrelevant).
+func NewEngine(n int, pred Predicate, gatesPerOracle int64) *Engine {
+	e := &Engine{
+		n:      n,
+		pred:   pred,
+		sv:     qsim.NewStatevector(n),
+		perOrc: gatesPerOracle,
+		// Diffusion as H^⊗n X^⊗n C^{n-1}Z X^⊗n H^⊗n: 4n+1 gates.
+		perDif: int64(4*n + 1),
+	}
+	e.sv.EqualSuperposition()
+	e.stats.Gates += int64(n) // the initial H layer
+	return e
+}
+
+// N returns the register width.
+func (e *Engine) N() int { return e.n }
+
+// State exposes the simulated statevector (read-only use intended).
+func (e *Engine) State() *qsim.Statevector { return e.sv }
+
+// Stats returns a copy of the cost counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Iterate applies k Grover iterations (oracle sign flip + diffusion,
+// Fig. 4b/4c).
+func (e *Engine) Iterate(k int) {
+	for i := 0; i < k; i++ {
+		e.sv.ApplyPhaseOracle(e.pred)
+		e.sv.ApplyDiffusion()
+		e.stats.Iterations++
+		e.stats.OracleCalls++
+		e.stats.Gates += e.perOrc + e.perDif
+	}
+}
+
+// SuccessProbability returns the total probability mass on solution states.
+func (e *Engine) SuccessProbability() float64 {
+	var p float64
+	for i, pr := range e.sv.Probabilities() {
+		if e.pred(uint64(i)) {
+			p += pr
+		}
+	}
+	return p
+}
+
+// Measure samples one basis state.
+func (e *Engine) Measure(rng *rand.Rand) uint64 {
+	return e.sv.Measure(rng)
+}
+
+// Reset restores the equal superposition.
+func (e *Engine) Reset() {
+	e.sv.EqualSuperposition()
+	e.stats.Gates += int64(e.n)
+}
+
+// OptimalIterations returns ⌊π/4·√(N/M)⌋, the iteration count of
+// Algorithm 1 line 5 (and of Algorithm 2 line 5) for N = 2^n states and M
+// solutions.
+func OptimalIterations(n, m int) int {
+	if m <= 0 {
+		return 0
+	}
+	space := math.Pow(2, float64(n))
+	return int(math.Floor(math.Pi / 4 * math.Sqrt(space/float64(m))))
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Mask  uint64 // measured basis state
+	Found bool   // predicate verified on Mask
+	Stats Stats
+	// ErrorProbability is the theoretical probability that the final
+	// measurement misses every solution (1 - success mass), recorded
+	// just before measurement.
+	ErrorProbability float64
+}
+
+// Search runs Grover with a known solution count m: prepare, iterate the
+// optimal count, measure, verify classically. If the measurement misses
+// (the inherent error probability of the paper's Section V-A), it retries
+// up to maxTries times, accumulating cost. maxTries ≤ 0 means 3.
+func Search(n int, pred Predicate, m int, gatesPerOracle int64, maxTries int, rng *rand.Rand) Result {
+	if maxTries <= 0 {
+		maxTries = 3
+	}
+	e := NewEngine(n, pred, gatesPerOracle)
+	iters := OptimalIterations(n, m)
+	var res Result
+	for try := 0; try < maxTries; try++ {
+		if try > 0 {
+			e.Reset()
+		}
+		e.Iterate(iters)
+		res.ErrorProbability = 1 - e.SuccessProbability()
+		mask := e.Measure(rng)
+		// Classical verification of the measured candidate costs one
+		// more predicate evaluation.
+		e.stats.OracleCalls++
+		if pred(mask) {
+			res.Mask = mask
+			res.Found = true
+			break
+		}
+		res.Mask = mask
+	}
+	res.Stats = e.Stats()
+	return res
+}
+
+// SearchUnknown runs the BBHT exponential search for an unknown solution
+// count: iterate j ~ Uniform[0, m) Grover steps with m growing
+// geometrically (factor 6/5), measure, verify. It stops after the
+// unsuccessful-budget bound of ~(9/4)·√N total iterations, which certifies
+// "no solution" with constant error probability; we then do one exhaustive
+// confirmation sweep of the predicate mass to make the answer exact (the
+// simulator affords it).
+func SearchUnknown(n int, pred Predicate, gatesPerOracle int64, rng *rand.Rand) Result {
+	e := NewEngine(n, pred, gatesPerOracle)
+	space := math.Pow(2, float64(n))
+	budget := 3 * math.Sqrt(space) // > (9/4)√N
+	m := 1.0
+	var total float64
+	var res Result
+	for total < budget {
+		j := rng.Intn(int(m) + 1)
+		e.Reset()
+		e.Iterate(j)
+		total += float64(j)
+		mask := e.Measure(rng)
+		e.stats.OracleCalls++
+		if pred(mask) {
+			res.Mask = mask
+			res.Found = true
+			res.Stats = e.Stats()
+			return res
+		}
+		m = math.Min(m*6/5, math.Sqrt(space))
+	}
+	res.Stats = e.Stats()
+	return res
+}
+
+// CountMarked estimates the number of solutions by quantum counting
+// (Brassard–Høyer–Tapp): phase estimation with t counting qubits over the
+// Grover operator G, whose eigenphases ±2θ satisfy sin²θ = M/N. The full
+// (t+n)-qubit state is simulated exactly: Ψ[a] = G^a|s⟩/√2^t followed by
+// an inverse QFT over the counting register.
+func CountMarked(n, t int, pred Predicate) (float64, error) {
+	if t < 1 || t > 14 {
+		return 0, fmt.Errorf("grover: counting register width %d out of [1,14]", t)
+	}
+	dim := 1 << uint(n)
+	ticks := 1 << uint(t)
+
+	// cur = G^a |s>, walked incrementally.
+	cur := qsim.NewStatevector(n)
+	cur.EqualSuperposition()
+
+	// psi[a][s] amplitudes, stored per counting value a.
+	psi := make([][]complex128, ticks)
+	norm := complex(1/math.Sqrt(float64(ticks)), 0)
+	for a := 0; a < ticks; a++ {
+		amp := cur.Amplitudes()
+		row := make([]complex128, dim)
+		for s := range amp {
+			row[s] = amp[s] * norm
+		}
+		psi[a] = row
+		if a < ticks-1 {
+			cur.ApplyPhaseOracle(pred)
+			cur.ApplyDiffusion()
+		}
+	}
+
+	// Inverse QFT over the counting index for each system basis state,
+	// i.e. an inverse DFT of the length-2^t column vectors.
+	col := make([]complex128, ticks)
+	for s := 0; s < dim; s++ {
+		for a := 0; a < ticks; a++ {
+			col[a] = psi[a][s]
+		}
+		inverseDFT(col)
+		for a := 0; a < ticks; a++ {
+			psi[a][s] = col[a]
+		}
+	}
+
+	// Measurement distribution over the counting register; take the MAP
+	// outcome.
+	bestA, bestP := 0, -1.0
+	for a := 0; a < ticks; a++ {
+		var p float64
+		for s := 0; s < dim; s++ {
+			c := psi[a][s]
+			p += real(c)*real(c) + imag(c)*imag(c)
+		}
+		if p > bestP {
+			bestA, bestP = a, p
+		}
+	}
+	theta := math.Pi * float64(bestA) / float64(ticks)
+	m := float64(dim) * math.Pow(math.Sin(theta), 2)
+	return m, nil
+}
+
+// inverseDFT applies the unitary inverse DFT in place (radix-2
+// Cooley–Tukey; len(x) must be a power of two).
+func inverseDFT(x []complex128) {
+	n := len(x)
+	// Bit reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length) // +1 sign: inverse transform
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	scale := complex(1/math.Sqrt(float64(n)), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+}

@@ -1,0 +1,112 @@
+package kplex
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Bounds for the maximum k-plex size. The paper notes that "upper bounding
+// techniques can also be integrated into the binary search process of qMKP
+// to further enhance its efficiency"; these are the bounds the core
+// package uses for that integration.
+
+// CoreNumbers returns the degeneracy ordering core numbers: core[v] is the
+// largest c such that v belongs to a subgraph with minimum degree ≥ c.
+func CoreNumbers(g *graph.Graph) []int {
+	n := g.N()
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	core := make([]int, n)
+	removed := make([]bool, n)
+	for round := 0; round < n; round++ {
+		// Peel the minimum-degree vertex.
+		v, minDeg := -1, n+1
+		for u := 0; u < n; u++ {
+			if !removed[u] && deg[u] < minDeg {
+				v, minDeg = u, deg[u]
+			}
+		}
+		if round == 0 {
+			core[v] = deg[v]
+		} else {
+			core[v] = deg[v]
+			if prev := coreMaxSoFar(core, removed); prev > core[v] {
+				core[v] = prev
+			}
+		}
+		removed[v] = true
+		for u := 0; u < n; u++ {
+			if !removed[u] && g.HasEdge(u, v) {
+				deg[u]--
+			}
+		}
+	}
+	return core
+}
+
+func coreMaxSoFar(core []int, removed []bool) int {
+	m := 0
+	for v, r := range removed {
+		if r && core[v] > m {
+			m = core[v]
+		}
+	}
+	return m
+}
+
+// CoreUpperBound returns an upper bound on the maximum k-plex size: every
+// vertex of a k-plex of size q has degree ≥ q-k inside it, so the k-plex
+// lies in the (q-k)-core; hence q ≤ max_v core(v) + k.
+func CoreUpperBound(g *graph.Graph, k int) int {
+	maxCore := 0
+	for _, c := range CoreNumbers(g) {
+		if c > maxCore {
+			maxCore = c
+		}
+	}
+	ub := maxCore + k
+	if ub > g.N() {
+		ub = g.N()
+	}
+	return ub
+}
+
+// DegreeUpperBound is the cheaper degeneracy-free bound: a k-plex of size
+// q needs at least q vertices of degree ≥ q-k in G, so q ≤ max{q : the
+// q-th largest degree ≥ q-k}.
+func DegreeUpperBound(g *graph.Graph, k int) int {
+	n := g.N()
+	degs := make([]int, n)
+	for v := 0; v < n; v++ {
+		degs[v] = g.Degree(v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	ub := 0
+	for q := 1; q <= n; q++ {
+		if degs[q-1] >= q-k {
+			ub = q
+		}
+	}
+	if ub < 1 {
+		ub = 1
+	}
+	return ub
+}
+
+// UpperBound returns the tightest of the implemented bounds.
+func UpperBound(g *graph.Graph, k int) int {
+	ub := CoreUpperBound(g, k)
+	if d := DegreeUpperBound(g, k); d < ub {
+		ub = d
+	}
+	return ub
+}
+
+// LowerBound returns the greedy heuristic size — a valid k-plex, so a
+// certified lower bound.
+func LowerBound(g *graph.Graph, k int) int {
+	return len(Greedy(g, k))
+}

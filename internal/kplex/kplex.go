@@ -1,0 +1,229 @@
+// Package kplex provides the classical side of the reproduction: an exact
+// naive O*(2^n) enumerator, a branch-and-search exact solver in the style
+// of the paper's BS baseline (Xiao et al. 2017), and greedy / local-search
+// heuristics used for lower bounds and for seeding reductions.
+package kplex
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Result is the outcome of an exact search.
+type Result struct {
+	Set   []int // a maximum k-plex (sorted)
+	Size  int
+	Nodes int64 // search-tree nodes expanded (BS) or masks scanned (naive)
+}
+
+// Naive finds a maximum k-plex by scanning all 2^n subsets. Ground truth
+// for tests and tiny instances; refuses n > 25.
+func Naive(g *graph.Graph, k int) (Result, error) {
+	n := g.N()
+	if n > 25 {
+		return Result{}, fmt.Errorf("kplex: naive enumeration refuses n=%d > 25", n)
+	}
+	if k < 1 {
+		return Result{}, fmt.Errorf("kplex: k=%d must be ≥ 1", k)
+	}
+	var best []int
+	var nodes int64
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		nodes++
+		set := graph.MaskSubset(mask, n)
+		if len(set) > len(best) && g.IsKPlex(set, k) {
+			best = set
+		}
+	}
+	return Result{Set: best, Size: len(best), Nodes: nodes}, nil
+}
+
+// bsState carries the branch-and-search context.
+type bsState struct {
+	g     *graph.Graph
+	k     int
+	n     int
+	inP   []bool
+	degP  []int // degree inside P, maintained incrementally
+	pSize int
+	best  []int
+	nodes int64
+}
+
+// BS finds a maximum k-plex with a branch-and-search algorithm in the
+// style of the paper's baseline: include/exclude branching on a pivot
+// candidate, candidate filtering against the k-plex invariants, the
+// trivial |P|+|Cand| bound and the per-vertex support bound
+// size ≤ deg_P(u) + |N(u)∩Cand| + k for every u ∈ P.
+func BS(g *graph.Graph, k int) (Result, error) {
+	if k < 1 {
+		return Result{}, fmt.Errorf("kplex: k=%d must be ≥ 1", k)
+	}
+	n := g.N()
+	st := &bsState{g: g, k: k, n: n, inP: make([]bool, n), degP: make([]int, n)}
+	// Seed the incumbent with a greedy solution so pruning bites early.
+	st.best = Greedy(g, k)
+	cand := make([]int, n)
+	for i := range cand {
+		cand[i] = i
+	}
+	// High-degree vertices first: likelier members of large plexes.
+	sort.Slice(cand, func(a, b int) bool { return g.Degree(cand[a]) > g.Degree(cand[b]) })
+	st.search(cand)
+	sort.Ints(st.best)
+	return Result{Set: st.best, Size: len(st.best), Nodes: st.nodes}, nil
+}
+
+// canAdd reports whether P ∪ {v} remains a k-plex.
+func (st *bsState) canAdd(v int) bool {
+	// v itself must have enough neighbours in P ∪ {v}.
+	if st.degP[v] < st.pSize+1-st.k {
+		return false
+	}
+	// Every existing member must tolerate the growth.
+	for u := 0; u < st.n; u++ {
+		if st.inP[u] && !st.g.HasEdge(u, v) && st.degP[u] < st.pSize+1-st.k {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *bsState) add(v int) {
+	st.inP[v] = true
+	st.pSize++
+	for u := 0; u < st.n; u++ {
+		if st.g.HasEdge(u, v) {
+			st.degP[u]++
+		}
+	}
+}
+
+func (st *bsState) remove(v int) {
+	st.inP[v] = false
+	st.pSize--
+	for u := 0; u < st.n; u++ {
+		if st.g.HasEdge(u, v) {
+			st.degP[u]--
+		}
+	}
+}
+
+func (st *bsState) search(cand []int) {
+	st.nodes++
+	// Filter candidates down to vertices that can individually join P.
+	feasible := cand[:0:0]
+	for _, v := range cand {
+		if st.canAdd(v) {
+			feasible = append(feasible, v)
+		}
+	}
+	// Record the incumbent.
+	if st.pSize > len(st.best) {
+		st.best = st.best[:0]
+		for v := 0; v < st.n; v++ {
+			if st.inP[v] {
+				st.best = append(st.best, v)
+			}
+		}
+	}
+	if len(feasible) == 0 {
+		return
+	}
+	// Trivial bound.
+	if st.pSize+len(feasible) <= len(st.best) {
+		return
+	}
+	// Support bound: any extension S of P satisfies, for each u ∈ P,
+	// |S| ≤ deg_S(u) + k ≤ deg_P(u) + |N(u)∩feasible| + k.
+	for u := 0; u < st.n; u++ {
+		if !st.inP[u] {
+			continue
+		}
+		support := st.degP[u] + st.k
+		for _, v := range feasible {
+			if st.g.HasEdge(u, v) {
+				support++
+			}
+		}
+		if support <= len(st.best) {
+			return
+		}
+	}
+	// Branch on the first feasible candidate (already degree-ordered).
+	v := feasible[0]
+	rest := feasible[1:]
+	// Include branch first: deep dives find large incumbents quickly.
+	st.add(v)
+	st.search(rest)
+	st.remove(v)
+	// Exclude branch.
+	st.search(rest)
+}
+
+// MaxKPlex is the production entry point: it computes a greedy lower
+// bound, applies the core–truss co-pruning reduction targeting a strictly
+// better solution, runs BS on the reduced graph, and lifts the answer back
+// to original vertex ids.
+func MaxKPlex(g *graph.Graph, k int) (Result, error) {
+	lb := Greedy(g, k)
+	red := g.CoTrussPrune(k, len(lb)+1)
+	res, err := BS(red.Graph, k)
+	if err != nil {
+		return Result{}, err
+	}
+	if res.Size < len(lb) {
+		// Reduction targeted size lb+1; if nothing better survived, the
+		// greedy solution is optimal.
+		sorted := append([]int(nil), lb...)
+		sort.Ints(sorted)
+		return Result{Set: sorted, Size: len(lb), Nodes: res.Nodes}, nil
+	}
+	return Result{Set: red.LiftSet(res.Set), Size: res.Size, Nodes: res.Nodes}, nil
+}
+
+// Greedy builds a k-plex by repeated best-candidate insertion from every
+// possible seed vertex and returns the largest found. Deterministic.
+func Greedy(g *graph.Graph, k int) []int {
+	n := g.N()
+	var best []int
+	for seed := 0; seed < n; seed++ {
+		set := []int{seed}
+		for {
+			bestV, bestGain := -1, -1
+			for v := 0; v < n; v++ {
+				if contains(set, v) {
+					continue
+				}
+				cand := append(append([]int{}, set...), v)
+				if !g.IsKPlex(cand, k) {
+					continue
+				}
+				gain := g.InducedDegree(v, set)
+				if gain > bestGain {
+					bestV, bestGain = v, gain
+				}
+			}
+			if bestV < 0 {
+				break
+			}
+			set = append(set, bestV)
+		}
+		if len(set) > len(best) {
+			best = set
+		}
+	}
+	sort.Ints(best)
+	return best
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

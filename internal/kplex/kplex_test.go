@@ -1,0 +1,162 @@
+package kplex
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestNaiveExample(t *testing.T) {
+	g := graph.Example6()
+	res, err := Naive(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != 4 {
+		t.Fatalf("max 2-plex size = %d, want 4", res.Size)
+	}
+	want := []int{0, 1, 3, 4}
+	for i, v := range want {
+		if res.Set[i] != v {
+			t.Fatalf("Set = %v, want %v", res.Set, want)
+		}
+	}
+	if res.Nodes != 64 {
+		t.Errorf("Nodes = %d, want 64", res.Nodes)
+	}
+}
+
+func TestNaiveRejectsLargeN(t *testing.T) {
+	if _, err := Naive(graph.New(26), 1); err == nil {
+		t.Error("Naive accepted n=26")
+	}
+	if _, err := Naive(graph.New(4), 0); err == nil {
+		t.Error("Naive accepted k=0")
+	}
+}
+
+func TestBSMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 40; trial++ {
+		n := 6 + rng.Intn(6)
+		g := graph.Gnp(n, 0.3+rng.Float64()*0.4, rng.Int63())
+		for k := 1; k <= 4; k++ {
+			want, err := Naive(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := BS(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Size != want.Size {
+				t.Fatalf("n=%d k=%d: BS size %d != naive %d", n, k, got.Size, want.Size)
+			}
+			if !g.IsKPlex(got.Set, k) {
+				t.Fatalf("BS returned a non-k-plex: %v", got.Set)
+			}
+		}
+	}
+}
+
+func TestBSValidatesK(t *testing.T) {
+	if _, err := BS(graph.New(4), 0); err == nil {
+		t.Error("BS accepted k=0")
+	}
+}
+
+func TestMaxKPlexWithReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 25; trial++ {
+		n := 8 + rng.Intn(5)
+		g := graph.Gnp(n, 0.4, rng.Int63())
+		for k := 1; k <= 3; k++ {
+			want, err := Naive(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := MaxKPlex(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Size != want.Size {
+				t.Fatalf("n=%d k=%d: MaxKPlex size %d != naive %d", n, k, got.Size, want.Size)
+			}
+			if !g.IsKPlex(got.Set, k) {
+				t.Fatalf("MaxKPlex returned a non-k-plex in ORIGINAL ids: %v", got.Set)
+			}
+		}
+	}
+}
+
+func TestGreedyReturnsValidPlex(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 30; trial++ {
+		g := graph.Gnp(12, 0.5, rng.Int63())
+		for k := 1; k <= 3; k++ {
+			set := Greedy(g, k)
+			if len(set) == 0 {
+				t.Fatal("greedy returned empty set on non-empty graph")
+			}
+			if !g.IsKPlex(set, k) {
+				t.Fatalf("greedy returned non-k-plex %v (k=%d)", set, k)
+			}
+		}
+	}
+}
+
+func TestGreedyOnPlantedPlex(t *testing.T) {
+	g, plant := graph.PlantedKPlex(14, 8, 2, 0.05, 9)
+	set := Greedy(g, 2)
+	if len(set) < len(plant) {
+		t.Errorf("greedy found %d, planted %d", len(set), len(plant))
+	}
+}
+
+func TestBSOnPaperDatasets(t *testing.T) {
+	// Table II ground truth: max 2-plex sizes 4, 4, 5, 6.
+	wants := map[string]int{
+		"G_{7,8}": 4, "G_{8,10}": 4, "G_{9,15}": 5, "G_{10,23}": 6,
+	}
+	for _, d := range graph.GateDatasets() {
+		want, ok := wants[d.Name]
+		if !ok {
+			continue
+		}
+		res, err := BS(d.Build(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Size != want {
+			t.Errorf("%s: max 2-plex = %d, want %d (paper Table II)", d.Name, res.Size, want)
+		}
+	}
+}
+
+func TestBSCliqueAndEdgeless(t *testing.T) {
+	complete := graph.New(7)
+	for u := 0; u < 7; u++ {
+		for v := u + 1; v < 7; v++ {
+			complete.AddEdge(u, v)
+		}
+	}
+	res, _ := BS(complete, 1)
+	if res.Size != 7 {
+		t.Errorf("clique: size %d, want 7", res.Size)
+	}
+	edgeless := graph.New(7)
+	res, _ = BS(edgeless, 3)
+	if res.Size != 3 { // any 3 isolated vertices form a 3-plex
+		t.Errorf("edgeless k=3: size %d, want 3", res.Size)
+	}
+}
+
+func TestBSPrunesVsNaive(t *testing.T) {
+	g := graph.Gnm(12, 25, 8)
+	bs, _ := BS(g, 2)
+	naive, _ := Naive(g, 2)
+	if bs.Nodes >= naive.Nodes {
+		t.Errorf("BS expanded %d nodes, naive scanned %d — no pruning?", bs.Nodes, naive.Nodes)
+	}
+}

@@ -1,0 +1,131 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/qubo"
+)
+
+func bruteMin(m *qubo.Model) float64 {
+	n := m.N()
+	best := math.Inf(1)
+	x := make([]bool, n)
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		for i := 0; i < n; i++ {
+			x[i] = mask&(1<<uint(i)) != 0
+		}
+		if v := m.Evaluate(x); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		m := qubo.NewModel()
+		n := 8 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			m.AddVar("")
+		}
+		m.Offset = rng.Float64()
+		for i := 0; i < n; i++ {
+			m.AddLinear(i, rng.Float64()*4-2)
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					m.AddQuad(i, j, rng.Float64()*4-2)
+				}
+			}
+		}
+		want := bruteMin(m)
+		res, err := Solve(m.Linearize(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Optimal {
+			t.Fatal("unlimited solve not flagged optimal")
+		}
+		if math.Abs(res.Cost-want) > 1e-9 {
+			t.Fatalf("Cost = %v, brute force = %v", res.Cost, want)
+		}
+		if math.Abs(m.Evaluate(res.X)-res.Cost) > 1e-9 {
+			t.Fatal("reported X inconsistent with reported cost")
+		}
+	}
+}
+
+func TestSolveMKPEncoding(t *testing.T) {
+	g := graph.Example6()
+	e, err := qubo.FormulateMKP(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(e.Model.Linearize(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, valid := e.DecodeValid(res.X)
+	if !valid || len(set) != 4 {
+		t.Fatalf("MILP optimum decodes to %v (valid=%v)", set, valid)
+	}
+	if math.Abs(res.Cost-(-4)) > 1e-9 {
+		t.Errorf("Cost = %v, want -4", res.Cost)
+	}
+}
+
+func TestTimelineImprovesMonotonically(t *testing.T) {
+	g := graph.Gnm(9, 18, 2)
+	e, err := qubo.FormulateMKP(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(e.Model.Linearize(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline recorded")
+	}
+	for i := 1; i < len(res.Timeline); i++ {
+		if res.Timeline[i].Cost >= res.Timeline[i-1].Cost {
+			t.Fatal("timeline costs not strictly improving")
+		}
+		if res.Timeline[i].Elapsed < res.Timeline[i-1].Elapsed {
+			t.Fatal("timeline times not monotone")
+		}
+	}
+	last := res.Timeline[len(res.Timeline)-1]
+	if math.Abs(last.Cost-res.Cost) > 1e-9 {
+		t.Error("final timeline point disagrees with result cost")
+	}
+}
+
+func TestTimeLimitReturnsIncumbent(t *testing.T) {
+	// A large enough model that 1ms cannot prove optimality.
+	g := graph.Gnm(16, 60, 3)
+	e, err := qubo.FormulateMKP(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(e.Model.Linearize(), Options{TimeLimit: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimal {
+		t.Skip("machine fast enough to prove optimality in 1ms; nothing to assert")
+	}
+	if res.X == nil {
+		t.Fatal("no incumbent under time limit")
+	}
+}
+
+func TestEmptyModelRejected(t *testing.T) {
+	if _, err := Solve(&qubo.MILP{}, Options{}); err == nil {
+		t.Error("empty model accepted")
+	}
+}

@@ -1,0 +1,251 @@
+// Package oracle assembles the paper's Grover oracle for "is this subset a
+// k-cplex of the complement graph with size ≥ T" from the four circuit
+// stages of Section III:
+//
+//   - Challenge I — graph encoding (Fig. 5 box A): one qubit per
+//     complement edge, activated by a C²NOT when both endpoints are in
+//     the subset.
+//   - Challenge II — degree counting (Fig. 5 box B): per-vertex
+//     accumulators summing incident edge qubits with Fig. 7 adders.
+//   - Challenge III — degree comparison (Fig. 6): per-vertex comparator
+//     c_i ≤ k-1 (the k-cplex condition), then an n-controlled NOT into
+//     the cplex flag. (The paper's prose says "<"; Definition 4 and
+//     Eq. (comp) require "≤", which is what we build.)
+//   - Challenge IV — size determination (Fig. 8): count vertex qubits,
+//     compare with |T>, and conjoin with the cplex flag into the oracle
+//     output.
+//
+// The assembled circuit is purely X-family (reversible), so the package
+// also provides the exact classical evaluation used by the hybrid Grover
+// simulator, including a strict mode that executes U_check, reads the
+// output, executes U_check†, and verifies every ancilla returned to |0> —
+// the paper's auxiliary-qubit reset contract.
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/graph"
+	"repro/internal/qarith"
+	"repro/internal/qsim"
+)
+
+// Block labels for per-component gate accounting (Table IV).
+const (
+	BlockEncoding      = "graph-encoding"
+	BlockDegreeCount   = "degree-count"
+	BlockDegreeCompare = "degree-compare"
+	BlockSizeCheck     = "size-determination"
+)
+
+// Oracle is a compiled k-plex oracle for a fixed graph, k and T.
+type Oracle struct {
+	N int // number of vertices
+	K int
+	T int
+
+	circuit *qsim.Circuit
+	vertex  []int // vertex qubit indices (0..n-1)
+	cplexQ  int   // wire: subset is a k-cplex of the complement
+	sizeQ   int   // wire: |subset| ≥ T
+	outQ    int   // wire: cplexQ ∧ sizeQ (the bit that drives the |O> flip)
+	fwdEnd  int   // gate index ending U_check (inverse follows)
+
+	scratch *bitvec.Vector
+}
+
+// Options selects oracle construction variants.
+type Options struct {
+	// CompactCounting replaces the paper's adder-chain degree counters
+	// (Fig. 7 full adders, fresh ancillas per addition) with ancilla-free
+	// multi-controlled increments — the ablation of DESIGN.md §5.
+	CompactCounting bool
+}
+
+// Build compiles the oracle for graph g (the original graph; the
+// complement is formed internally, following the paper's reduction of
+// k-plex to k-cplex). T is the size threshold.
+func Build(g *graph.Graph, k, T int) (*Oracle, error) {
+	return BuildOpts(g, k, T, Options{})
+}
+
+// BuildOpts is Build with construction variants.
+func BuildOpts(g *graph.Graph, k, T int, opts Options) (*Oracle, error) {
+	n := g.N()
+	if n < 1 {
+		return nil, fmt.Errorf("oracle: empty graph")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("oracle: k=%d out of range [1,%d]", k, n)
+	}
+	if T < 1 || T > n {
+		return nil, fmt.Errorf("oracle: T=%d out of range [1,%d]", T, n)
+	}
+	comp := g.Complement()
+	c := qsim.NewCircuit()
+	o := &Oracle{N: n, K: k, T: T, circuit: c}
+
+	// Vertex register |v1..vn>.
+	o.vertex = c.AllocReg("v", n)
+
+	// Challenge I: encode the complement topology. Edge qubit e_{uv}
+	// fires iff both endpoints are selected.
+	c.SetBlock(BlockEncoding)
+	edgeQ := make(map[[2]int]int, comp.M())
+	for _, e := range comp.Edges() {
+		q := c.Alloc(fmt.Sprintf("e[%d,%d]", e[0]+1, e[1]+1))
+		c.CCX(o.vertex[e[0]], o.vertex[e[1]], q)
+		edgeQ[e] = q
+	}
+
+	// Challenge II: degree counting. Each vertex gets an accumulator
+	// wide enough for both its complement degree and the constant k-1.
+	c.SetBlock(BlockDegreeCount)
+	degReg := make([][]int, n)
+	widths := make([]int, n)
+	for v := 0; v < n; v++ {
+		maxVal := comp.Degree(v)
+		if k-1 > maxVal {
+			maxVal = k - 1
+		}
+		widths[v] = qarith.WidthFor(maxVal)
+		acc := qarith.NewAccumulator(c, fmt.Sprintf("c%d", v+1), widths[v])
+		for _, u := range comp.Neighbors(v) {
+			key := [2]int{v, u}
+			if u < v {
+				key = [2]int{u, v}
+			}
+			if opts.CompactCounting {
+				acc.AddBitCompact(c, edgeQ[key])
+			} else {
+				acc.AddBit(c, edgeQ[key])
+			}
+		}
+		degReg[v] = acc.Bits()
+	}
+
+	// Challenge III: degree comparison c_i ≤ k-1, then the cplex flag.
+	c.SetBlock(BlockDegreeCompare)
+	leQ := make([]int, n)
+	for v := 0; v < n; v++ {
+		kReg := qarith.LoadConst(c, fmt.Sprintf("k%d", v+1), k-1, widths[v])
+		leQ[v] = qarith.LessOrEqual(c, degReg[v], kReg)
+	}
+	o.cplexQ = c.Alloc("cplex")
+	ctrls := make([]qsim.Control, n)
+	for v := 0; v < n; v++ {
+		ctrls[v] = qsim.On(leQ[v])
+	}
+	c.MCX(ctrls, o.cplexQ)
+
+	// Challenge IV: size determination and threshold comparison.
+	c.SetBlock(BlockSizeCheck)
+	sizeWidth := qarith.WidthFor(n)
+	if w := qarith.WidthFor(T); w > sizeWidth {
+		sizeWidth = w
+	}
+	sizeAcc := qarith.NewAccumulator(c, "size", sizeWidth)
+	for _, vq := range o.vertex {
+		if opts.CompactCounting {
+			sizeAcc.AddBitCompact(c, vq)
+		} else {
+			sizeAcc.AddBit(c, vq)
+		}
+	}
+	tReg := qarith.LoadConst(c, "T", T, sizeWidth)
+	o.sizeQ = qarith.GreaterOrEqual(c, sizeAcc.Bits(), tReg)
+	o.outQ = c.Alloc("oracle")
+	c.CCX(o.cplexQ, o.sizeQ, o.outQ)
+
+	// U_check† — reset every auxiliary qubit (the paper's Fig. 8 "repeat"
+	// structure relies on this). The final CCX into outQ is excluded:
+	// in the physical circuit that flip targets the |O>=|-> qubit and is
+	// what transfers the phase.
+	o.fwdEnd = c.Len() - 1
+	c.AppendInverse(0, o.fwdEnd)
+
+	o.scratch = bitvec.New(c.NumQubits())
+	return o, nil
+}
+
+// Circuit exposes the compiled circuit (U_check, oracle flip, U_check†).
+func (o *Oracle) Circuit() *qsim.Circuit { return o.circuit }
+
+// VertexQubits returns the indices of the vertex register.
+func (o *Oracle) VertexQubits() []int { return o.vertex }
+
+// setVertexMask writes the subset mask (paper convention: bit n-1-i is
+// vertex i) into the scratch state's vertex qubits.
+func (o *Oracle) setVertexMask(st *bitvec.Vector, mask uint64) {
+	for i := 0; i < o.N; i++ {
+		st.Set(o.vertex[i], mask&(1<<uint(o.N-1-i)) != 0)
+	}
+}
+
+// Marked evaluates the oracle predicate for one subset mask using the fast
+// path: U_check forward only, on a clean scratch register. Not safe for
+// concurrent use.
+func (o *Oracle) Marked(mask uint64) bool {
+	st := o.scratch
+	st.Clear()
+	o.setVertexMask(st, mask)
+	o.circuit.RunReversibleRange(st, 0, o.fwdEnd, nil)
+	return st.Get(o.cplexQ) && st.Get(o.sizeQ)
+}
+
+// MarkedStrict runs the full gate sequence — U_check, oracle flip,
+// U_check† — and verifies the reset contract: every non-vertex qubit back
+// to |0>, vertex register unchanged. It returns the oracle bit observed
+// between the halves and the per-block executed gate counts.
+func (o *Oracle) MarkedStrict(mask uint64) (bool, map[string]int, error) {
+	st := bitvec.New(o.circuit.NumQubits())
+	o.setVertexMask(st, mask)
+	counts := make(map[string]int)
+	o.circuit.RunReversibleRange(st, 0, o.fwdEnd, counts)
+	marked := st.Get(o.cplexQ) && st.Get(o.sizeQ)
+	// Gate o.fwdEnd is the CCX onto outQ (the |O> flip); execute it too.
+	o.circuit.RunReversibleRange(st, o.fwdEnd, o.circuit.Len(), counts)
+	if st.Get(o.outQ) != marked {
+		return marked, counts, fmt.Errorf("oracle: output qubit %v disagrees with predicate %v", st.Get(o.outQ), marked)
+	}
+	// Undo the recorded flip so the reset check below sees the ancilla
+	// contract the physical circuit has (where the flip lands on |O>,
+	// not on an ancilla).
+	st.Set(o.outQ, false)
+	for q := 0; q < o.circuit.NumQubits(); q++ {
+		isVertex := q < o.N
+		if isVertex {
+			wantSet := mask&(1<<uint(o.N-1-q)) != 0
+			if st.Get(q) != wantSet {
+				return marked, counts, fmt.Errorf("oracle: vertex qubit %d corrupted by uncompute", q)
+			}
+			continue
+		}
+		if st.Get(q) {
+			return marked, counts, fmt.Errorf("oracle: ancilla %d (%s) not reset to |0>", q, o.circuit.Label(q))
+		}
+	}
+	return marked, counts, nil
+}
+
+// TruthTable evaluates the oracle on all 2^n masks.
+func (o *Oracle) TruthTable() []bool {
+	tt := make([]bool, 1<<uint(o.N))
+	for mask := range tt {
+		tt[mask] = o.Marked(uint64(mask))
+	}
+	return tt
+}
+
+// TotalGates returns the gate count of one full oracle call
+// (U_check + flip + U_check†), the unit of the paper's time complexity.
+func (o *Oracle) TotalGates() int { return o.circuit.Len() }
+
+// ComponentGates returns the per-stage gate counts of one full oracle
+// call, the quantity behind the paper's Table IV runtime shares.
+func (o *Oracle) ComponentGates() map[string]int { return o.circuit.GateCounts() }
+
+// NumQubits returns the total width of the compiled circuit — the space
+// complexity currency of the paper (O(n² log n)).
+func (o *Oracle) NumQubits() int { return o.circuit.NumQubits() }

@@ -1,0 +1,214 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestOracleMatchesClassicalPredicateExample(t *testing.T) {
+	g := graph.Example6()
+	for _, tc := range []struct{ k, T int }{{2, 4}, {2, 3}, {1, 3}, {3, 4}, {2, 1}} {
+		o, err := Build(g, tc.k, tc.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mask := uint64(0); mask < 64; mask++ {
+			set := graph.MaskSubset(mask, 6)
+			want := len(set) >= tc.T && g.IsKPlex(set, tc.k)
+			if got := o.Marked(mask); got != want {
+				t.Fatalf("k=%d T=%d mask=%06b: oracle=%v classical=%v",
+					tc.k, tc.T, mask, got, want)
+			}
+		}
+	}
+}
+
+func TestOracleMatchesClassicalPredicateRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 8; trial++ {
+		n := 5 + rng.Intn(4) // 5..8 vertices
+		g := graph.Gnp(n, 0.5, rng.Int63())
+		k := 1 + rng.Intn(3)
+		T := 1 + rng.Intn(n)
+		o, err := Build(g, k, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mask := uint64(0); mask < 1<<uint(n); mask++ {
+			set := graph.MaskSubset(mask, n)
+			want := len(set) >= T && g.IsKPlex(set, k)
+			if got := o.Marked(mask); got != want {
+				t.Fatalf("n=%d k=%d T=%d mask=%b: oracle=%v classical=%v",
+					n, k, T, mask, got, want)
+			}
+		}
+	}
+}
+
+func TestMarkedStrictResetContract(t *testing.T) {
+	g := graph.Example6()
+	o, err := Build(g, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := uint64(0); mask < 64; mask++ {
+		marked, counts, err := o.MarkedStrict(mask)
+		if err != nil {
+			t.Fatalf("mask %06b: %v", mask, err)
+		}
+		if marked != o.Marked(mask) {
+			t.Fatalf("mask %06b: strict and fast paths disagree", mask)
+		}
+		if len(counts) == 0 {
+			t.Fatal("no gate accounting recorded")
+		}
+	}
+	// Exactly one marked subset: the paper's {v1,v2,v4,v5} = |110110> = 54.
+	tt := o.TruthTable()
+	markedCount := 0
+	markedAt := -1
+	for m, b := range tt {
+		if b {
+			markedCount++
+			markedAt = m
+		}
+	}
+	if markedCount != 1 || markedAt != 54 {
+		t.Errorf("marked set: count=%d at=%d, want 1 at 54", markedCount, markedAt)
+	}
+}
+
+func TestComponentGateShares(t *testing.T) {
+	// Degree counting must dominate the oracle gate budget, and its
+	// share must grow with n (Table IV's observation: 77.5% → 88.6%).
+	share := func(n int) float64 {
+		g := graph.Gnm(n, n*(n-1)/4, 3)
+		o, err := Build(g, 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := o.ComponentGates()
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return float64(counts[BlockDegreeCount]) / float64(total)
+	}
+	s7, s10 := share(7), share(10)
+	if s7 < 0.5 {
+		t.Errorf("degree-count share at n=7 is %.2f, expected dominant (>0.5)", s7)
+	}
+	if s10 <= s7 {
+		t.Errorf("degree-count share should grow with n: %.3f (n=7) vs %.3f (n=10)", s7, s10)
+	}
+}
+
+func TestOracleQubitComplexity(t *testing.T) {
+	// Space complexity O(n² log n): the qubit count at n=12 must not
+	// exceed the n=6 count scaled by (12²·log12)/(6²·log6) with slack.
+	q := func(n int) int {
+		g := graph.Gnm(n, n*(n-1)/4, 3)
+		o, err := Build(g, 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.NumQubits()
+	}
+	q6, q12 := q(6), q(12)
+	bound := q6 * (12 * 12 * 4) / (6 * 6 * 3) * 2 // generous constant slack
+	if q12 > bound {
+		t.Errorf("qubit growth n=6→12: %d → %d exceeds O(n² log n) envelope %d", q6, q12, bound)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := graph.Example6()
+	if _, err := Build(g, 0, 3); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Build(g, 2, 0); err == nil {
+		t.Error("T=0 accepted")
+	}
+	if _, err := Build(g, 2, 7); err == nil {
+		t.Error("T>n accepted")
+	}
+	if _, err := Build(g, 7, 3); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := Build(graph.New(0), 1, 1); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestOracleEdgelessAndCompleteGraphs(t *testing.T) {
+	// Edgeless graph: complement is complete; a k-plex is any set of
+	// size ≤ k (every vertex has 0 neighbours, needs ≥ |P|-k).
+	edgeless := graph.New(5)
+	o, err := Build(edgeless, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := uint64(0); mask < 32; mask++ {
+		set := graph.MaskSubset(mask, 5)
+		want := len(set) == 2 // size ≥ 2 plexes have exactly size ≤ k = 2
+		if len(set) > 2 {
+			want = false
+		}
+		if got := o.Marked(mask); got != want {
+			t.Fatalf("edgeless mask %05b: got %v want %v", mask, got, want)
+		}
+	}
+
+	// Complete graph: everything is a k-plex; oracle = size filter.
+	complete := graph.New(5)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			complete.AddEdge(u, v)
+		}
+	}
+	o2, err := Build(complete, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := uint64(0); mask < 32; mask++ {
+		want := len(graph.MaskSubset(mask, 5)) >= 3
+		if got := o2.Marked(mask); got != want {
+			t.Fatalf("complete mask %05b: got %v want %v", mask, got, want)
+		}
+	}
+}
+
+func TestTotalGatesDoublesForUncompute(t *testing.T) {
+	g := graph.Example6()
+	o, err := Build(g, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// U_check + 1 flip + U_check† = 2·|U_check| + 1.
+	if o.TotalGates()%2 != 1 {
+		t.Errorf("total gate count %d should be odd (2·fwd + flip)", o.TotalGates())
+	}
+}
+
+func TestCompactOracleMatchesAdderOracle(t *testing.T) {
+	g := graph.Example6()
+	adder, err := Build(g, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact, err := BuildOpts(g, 2, 4, Options{CompactCounting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := uint64(0); mask < 64; mask++ {
+		if adder.Marked(mask) != compact.Marked(mask) {
+			t.Fatalf("variants disagree at mask %06b", mask)
+		}
+	}
+	if compact.NumQubits() >= adder.NumQubits() {
+		t.Errorf("compact oracle uses %d qubits, adder oracle %d — expected fewer",
+			compact.NumQubits(), adder.NumQubits())
+	}
+}

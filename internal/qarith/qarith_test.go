@@ -1,0 +1,290 @@
+package qarith
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/qsim"
+)
+
+// run executes the circuit on a state initialised by init and returns the
+// final state.
+func run(c *qsim.Circuit, init func(st *bitvec.Vector)) *bitvec.Vector {
+	st := bitvec.New(c.NumQubits())
+	if init != nil {
+		init(st)
+	}
+	c.RunReversible(st)
+	return st
+}
+
+func TestFullAdderTruthTable(t *testing.T) {
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 2; y++ {
+			for cin := 0; cin < 2; cin++ {
+				c := qsim.NewCircuit()
+				qx, qy, qc := c.Alloc("x"), c.Alloc("y"), c.Alloc("cin")
+				sum, cout := FullAdder(c, qx, qy, qc)
+				st := run(c, func(st *bitvec.Vector) {
+					st.Set(qx, x == 1)
+					st.Set(qy, y == 1)
+					st.Set(qc, cin == 1)
+				})
+				total := x + y + cin
+				if got := st.Get(sum); got != (total%2 == 1) {
+					t.Errorf("x=%d y=%d cin=%d: sum = %v, want %v", x, y, cin, got, total%2 == 1)
+				}
+				if got := st.Get(cout); got != (total >= 2) {
+					t.Errorf("x=%d y=%d cin=%d: cout = %v, want %v", x, y, cin, got, total >= 2)
+				}
+			}
+		}
+	}
+}
+
+func TestFullAdderGateAndQubitBudget(t *testing.T) {
+	// The paper counts 5 gates and 2 fresh ancillae (5 qubits total) for
+	// the Fig. 7 adder.
+	c := qsim.NewCircuit()
+	qx, qy, qc := c.Alloc("x"), c.Alloc("y"), c.Alloc("cin")
+	FullAdder(c, qx, qy, qc)
+	if c.Len() != 5 {
+		t.Errorf("full adder uses %d gates, want 5", c.Len())
+	}
+	if c.NumQubits() != 5 {
+		t.Errorf("full adder uses %d qubits, want 5", c.NumQubits())
+	}
+}
+
+func TestAddRegisters(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := int(a%16), int(b%16)
+		c := qsim.NewCircuit()
+		rx := c.AllocReg("x", 4)
+		ry := c.AllocReg("y", 4)
+		sum := Add(c, rx, ry)
+		st := run(c, func(st *bitvec.Vector) {
+			st.SetUint(rx[0], 4, uint64(x))
+			st.SetUint(ry[0], 4, uint64(y))
+		})
+		var got uint64
+		for i, q := range sum {
+			if st.Get(q) {
+				got |= 1 << uint(i)
+			}
+		}
+		return got == uint64(x+y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add with mismatched widths did not panic")
+		}
+	}()
+	c := qsim.NewCircuit()
+	Add(c, c.AllocReg("x", 2), c.AllocReg("y", 3))
+}
+
+func TestWidthFor(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 9: 4, 15: 4, 16: 5}
+	for max, want := range cases {
+		if got := WidthFor(max); got != want {
+			t.Errorf("WidthFor(%d) = %d, want %d", max, got, want)
+		}
+	}
+}
+
+func TestAccumulatorCountsOnes(t *testing.T) {
+	// Add 9 input bits with a random pattern; the accumulator must hold
+	// the popcount.
+	f := func(pattern uint16) bool {
+		bitsIn := 9
+		pattern &= (1 << 9) - 1
+		c := qsim.NewCircuit()
+		in := c.AllocReg("in", bitsIn)
+		acc := NewAccumulator(c, "acc", WidthFor(bitsIn))
+		for _, q := range in {
+			acc.AddBit(c, q)
+		}
+		st := run(c, func(st *bitvec.Vector) {
+			for i, q := range in {
+				st.Set(q, pattern&(1<<uint(i)) != 0)
+			}
+		})
+		var got uint64
+		for i, q := range acc.Bits() {
+			if st.Get(q) {
+				got |= 1 << uint(i)
+			}
+		}
+		want := uint64(0)
+		for i := 0; i < bitsIn; i++ {
+			if pattern&(1<<uint(i)) != 0 {
+				want++
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorOverflowPanics(t *testing.T) {
+	c := qsim.NewCircuit()
+	in := c.AllocReg("in", 4)
+	acc := NewAccumulator(c, "acc", 2) // can hold 0..3
+	acc.AddBit(c, in[0])
+	acc.AddBit(c, in[1])
+	acc.AddBit(c, in[2])
+	defer func() {
+		if recover() == nil {
+			t.Error("4th AddBit into width-2 accumulator did not panic")
+		}
+	}()
+	acc.AddBit(c, in[3])
+}
+
+func TestLoadConst(t *testing.T) {
+	c := qsim.NewCircuit()
+	reg := LoadConst(c, "k", 5, 4)
+	st := run(c, nil)
+	if got := st.Uint(reg[0], 4); got != 5 {
+		t.Errorf("LoadConst produced %d, want 5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized constant did not panic")
+		}
+	}()
+	LoadConst(c, "bad", 16, 4)
+}
+
+func TestLessOrEqualExhaustive(t *testing.T) {
+	// Exhaustive over all 4-bit pairs — the heart of degree comparison.
+	for x := 0; x < 16; x++ {
+		for y := 0; y < 16; y++ {
+			c := qsim.NewCircuit()
+			rx := c.AllocReg("x", 4)
+			ry := c.AllocReg("y", 4)
+			le := LessOrEqual(c, rx, ry)
+			st := run(c, func(st *bitvec.Vector) {
+				st.SetUint(rx[0], 4, uint64(x))
+				st.SetUint(ry[0], 4, uint64(y))
+			})
+			if got := st.Get(le); got != (x <= y) {
+				t.Fatalf("LessOrEqual(%d,%d) = %v, want %v", x, y, got, x <= y)
+			}
+		}
+	}
+}
+
+func TestGreaterOrEqual(t *testing.T) {
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			c := qsim.NewCircuit()
+			rx := c.AllocReg("x", 3)
+			ry := c.AllocReg("y", 3)
+			ge := GreaterOrEqual(c, rx, ry)
+			st := run(c, func(st *bitvec.Vector) {
+				st.SetUint(rx[0], 3, uint64(x))
+				st.SetUint(ry[0], 3, uint64(y))
+			})
+			if got := st.Get(ge); got != (x >= y) {
+				t.Fatalf("GreaterOrEqual(%d,%d) = %v, want %v", x, y, got, x >= y)
+			}
+		}
+	}
+}
+
+func TestComparatorLinearGateCount(t *testing.T) {
+	// Eq. (comp) analysis: O(s) gates, O(s) ancillae for width s.
+	gatesAt := func(s int) int {
+		c := qsim.NewCircuit()
+		LessOrEqual(c, c.AllocReg("x", s), c.AllocReg("y", s))
+		return c.Len()
+	}
+	g4, g8, g12 := gatesAt(4), gatesAt(8), gatesAt(12)
+	if g8-g4 != g12-g8 {
+		t.Errorf("comparator gate growth not linear: %d, %d, %d", g4, g8, g12)
+	}
+}
+
+func TestArithmeticCircuitsUncompute(t *testing.T) {
+	// Running U then U† must restore every qubit, including ancillae —
+	// the property the oracle's reset step relies on.
+	c := qsim.NewCircuit()
+	rx := c.AllocReg("x", 3)
+	ry := c.AllocReg("y", 3)
+	Add(c, rx, ry)
+	LessOrEqual(c, rx, ry)
+	n := c.Len()
+	c.AppendInverse(0, n)
+	st := run(c, func(st *bitvec.Vector) {
+		st.SetUint(rx[0], 3, 5)
+		st.SetUint(ry[0], 3, 6)
+	})
+	if st.Uint(rx[0], 3) != 5 || st.Uint(ry[0], 3) != 6 {
+		t.Error("inputs not restored by uncompute")
+	}
+	for q := 0; q < c.NumQubits(); q++ {
+		if q >= rx[0] && q <= rx[2] || q >= ry[0] && q <= ry[2] {
+			continue
+		}
+		if st.Get(q) {
+			t.Fatalf("ancilla %d (%s) not restored to |0>", q, c.Label(q))
+		}
+	}
+}
+
+func TestAddBitCompactMatchesAdderChain(t *testing.T) {
+	f := func(pattern uint16) bool {
+		bitsIn := 9
+		pattern &= (1 << 9) - 1
+		c := qsim.NewCircuit()
+		in := c.AllocReg("in", bitsIn)
+		acc := NewAccumulator(c, "acc", WidthFor(bitsIn))
+		for _, q := range in {
+			acc.AddBitCompact(c, q)
+		}
+		st := run(c, func(st *bitvec.Vector) {
+			for i, q := range in {
+				st.Set(q, pattern&(1<<uint(i)) != 0)
+			}
+		})
+		var got, want uint64
+		for i, q := range acc.Bits() {
+			if st.Get(q) {
+				got |= 1 << uint(i)
+			}
+		}
+		for i := 0; i < bitsIn; i++ {
+			if pattern&(1<<uint(i)) != 0 {
+				want++
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddBitCompactUsesNoAncillas(t *testing.T) {
+	c := qsim.NewCircuit()
+	in := c.AllocReg("in", 4)
+	acc := NewAccumulator(c, "acc", 3)
+	before := c.NumQubits()
+	for _, q := range in {
+		acc.AddBitCompact(c, q)
+	}
+	if c.NumQubits() != before {
+		t.Errorf("compact counter allocated %d ancillas", c.NumQubits()-before)
+	}
+}

@@ -1,0 +1,240 @@
+// Package qsim is the gate-model quantum substrate of the reproduction.
+//
+// It provides three pieces:
+//
+//   - Circuit: a gate list over an open-ended qubit register, with the gate
+//     vocabulary of the paper (X, H, Z, and multi-controlled X/Z with
+//     positive or negative controls — the filled and hollow dots of the
+//     paper's figures), per-block gate accounting, and exact inversion
+//     (U†, used for the oracle's uncompute stage).
+//   - RevState / Circuit.RunReversible: classical execution of the
+//     reversible (X-family only) subset on a bit vector. Because the
+//     paper's entire U_check oracle is built from X-family gates, running
+//     it per basis state is exactly equivalent to full statevector
+//     simulation of those gates (see DESIGN.md, substitution table).
+//   - Statevector: a dense 2^n complex simulator for the full vocabulary,
+//     used to validate the hybrid approach gate-for-gate on small systems
+//     and to run quantum counting.
+//
+// Qubit ordering follows the paper's kets: qubit 0 is |v1|, the most
+// significant bit of a basis label, so the state |100100> on six qubits is
+// basis index 36 exactly as printed in the paper.
+package qsim
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Kind enumerates gate families.
+type Kind uint8
+
+const (
+	// KindX is the NOT gate, possibly multi-controlled (CNOT, Toffoli,
+	// C^kNOT with arbitrary control polarities).
+	KindX Kind = iota
+	// KindH is the Hadamard gate (no controls).
+	KindH
+	// KindZ is the phase-flip gate, possibly multi-controlled.
+	KindZ
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindX:
+		return "X"
+	case KindH:
+		return "H"
+	case KindZ:
+		return "Z"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Control is one control dot of a controlled gate. Positive controls
+// (filled dots in the paper's figures) trigger on |1>, negative controls
+// (hollow dots, Fig. 4 left) trigger on |0>.
+type Control struct {
+	Qubit    int
+	Positive bool
+}
+
+// On returns a positive control on qubit q.
+func On(q int) Control { return Control{Qubit: q, Positive: true} }
+
+// Off returns a negative (hollow-dot) control on qubit q.
+func Off(q int) Control { return Control{Qubit: q, Positive: false} }
+
+// Gate is one gate application.
+type Gate struct {
+	Kind     Kind
+	Target   int
+	Controls []Control
+	Block    string // accounting label of the circuit block that emitted it
+}
+
+// Circuit is a straight-line quantum circuit with a qubit allocator.
+// The zero value is an empty circuit ready for use.
+type Circuit struct {
+	gates  []Gate
+	labels []string // one per qubit
+	block  string
+}
+
+// NewCircuit returns an empty circuit.
+func NewCircuit() *Circuit { return &Circuit{} }
+
+// NumQubits returns the number of allocated qubits.
+func (c *Circuit) NumQubits() int { return len(c.labels) }
+
+// Gates returns the gate list (not a copy; callers must not mutate).
+func (c *Circuit) Gates() []Gate { return c.gates }
+
+// Alloc reserves one fresh qubit, initially |0>, and returns its index.
+// The label is for debugging and circuit dumps.
+func (c *Circuit) Alloc(label string) int {
+	c.labels = append(c.labels, label)
+	return len(c.labels) - 1
+}
+
+// AllocReg reserves width fresh qubits labelled label[0..width).
+func (c *Circuit) AllocReg(label string, width int) []int {
+	reg := make([]int, width)
+	for i := range reg {
+		reg[i] = c.Alloc(fmt.Sprintf("%s[%d]", label, i))
+	}
+	return reg
+}
+
+// Label returns the allocation label of qubit q.
+func (c *Circuit) Label(q int) string { return c.labels[q] }
+
+// SetBlock labels subsequently emitted gates for per-component accounting
+// (the oracle's degree-count / degree-comparison / size-determination
+// split of the paper's Table IV). It returns the previous block label.
+func (c *Circuit) SetBlock(name string) string {
+	prev := c.block
+	c.block = name
+	return prev
+}
+
+func (c *Circuit) checkQubit(q int) {
+	if q < 0 || q >= len(c.labels) {
+		panic(fmt.Sprintf("qsim: qubit %d out of range [0,%d)", q, len(c.labels)))
+	}
+}
+
+func (c *Circuit) emit(kind Kind, target int, controls []Control) {
+	c.checkQubit(target)
+	for _, ctl := range controls {
+		c.checkQubit(ctl.Qubit)
+		if ctl.Qubit == target {
+			panic(fmt.Sprintf("qsim: control and target coincide at qubit %d", target))
+		}
+	}
+	c.gates = append(c.gates, Gate{Kind: kind, Target: target, Controls: controls, Block: c.block})
+}
+
+// X appends a NOT gate on qubit t.
+func (c *Circuit) X(t int) { c.emit(KindX, t, nil) }
+
+// CX appends a CNOT with positive control ctl and target t.
+func (c *Circuit) CX(ctl, t int) { c.emit(KindX, t, []Control{On(ctl)}) }
+
+// CCX appends a Toffoli (C²NOT) gate.
+func (c *Circuit) CCX(c1, c2, t int) { c.emit(KindX, t, []Control{On(c1), On(c2)}) }
+
+// MCX appends a multi-controlled NOT with arbitrary control polarities.
+func (c *Circuit) MCX(controls []Control, t int) {
+	cp := append([]Control(nil), controls...)
+	c.emit(KindX, t, cp)
+}
+
+// H appends a Hadamard gate on qubit t.
+func (c *Circuit) H(t int) { c.emit(KindH, t, nil) }
+
+// Z appends a phase-flip gate on qubit t.
+func (c *Circuit) Z(t int) { c.emit(KindZ, t, nil) }
+
+// MCZ appends a multi-controlled Z with target t.
+func (c *Circuit) MCZ(controls []Control, t int) {
+	cp := append([]Control(nil), controls...)
+	c.emit(KindZ, t, cp)
+}
+
+// AppendInverse appends U† for the gate range [from, to) of this circuit:
+// the same gates in reverse order (every gate in our vocabulary is its own
+// inverse). The paper uses this to reset all auxiliary qubits after the
+// oracle flip ("U† employs the same gates as U, but in reverse sequence").
+// Appended gates keep their original block labels so accounting stays
+// attributed to the component being uncomputed.
+func (c *Circuit) AppendInverse(from, to int) {
+	if from < 0 || to > len(c.gates) || from > to {
+		panic(fmt.Sprintf("qsim: AppendInverse range [%d,%d) out of [0,%d]", from, to, len(c.gates)))
+	}
+	for i := to - 1; i >= from; i-- {
+		g := c.gates[i]
+		c.gates = append(c.gates, g)
+	}
+}
+
+// Len returns the number of gates.
+func (c *Circuit) Len() int { return len(c.gates) }
+
+// GateCounts returns the number of gates per block label.
+func (c *Circuit) GateCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, g := range c.gates {
+		counts[g.Block]++
+	}
+	return counts
+}
+
+// IsReversible reports whether every gate belongs to the classical
+// reversible subset (X family), i.e. the circuit is a permutation of basis
+// states and can be executed by RunReversible.
+func (c *Circuit) IsReversible() bool {
+	for _, g := range c.gates {
+		if g.Kind != KindX {
+			return false
+		}
+	}
+	return true
+}
+
+// RunReversible executes the circuit classically on the given bit state,
+// which must have at least NumQubits bits. It returns the number of gates
+// executed per block. Panics if the circuit contains non-X gates.
+func (c *Circuit) RunReversible(state *bitvec.Vector) map[string]int {
+	counts := make(map[string]int)
+	c.RunReversibleRange(state, 0, len(c.gates), counts)
+	return counts
+}
+
+// RunReversibleRange executes gates [from,to) on state, accumulating gate
+// counts per block into counts (which may be nil to skip accounting).
+func (c *Circuit) RunReversibleRange(state *bitvec.Vector, from, to int, counts map[string]int) {
+	if state.Len() < len(c.labels) {
+		panic(fmt.Sprintf("qsim: state has %d bits, circuit needs %d", state.Len(), len(c.labels)))
+	}
+	for i := from; i < to; i++ {
+		g := c.gates[i]
+		if g.Kind != KindX {
+			panic(fmt.Sprintf("qsim: gate %d (%s) is not classically reversible", i, g.Kind))
+		}
+		fire := true
+		for _, ctl := range g.Controls {
+			if state.Get(ctl.Qubit) != ctl.Positive {
+				fire = false
+				break
+			}
+		}
+		if fire {
+			state.Flip(g.Target)
+		}
+		if counts != nil {
+			counts[g.Block]++
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package qsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+)
+
+func TestAllocAndLabels(t *testing.T) {
+	c := NewCircuit()
+	v := c.Alloc("v1")
+	reg := c.AllocReg("e", 3)
+	if v != 0 || reg[0] != 1 || reg[2] != 3 {
+		t.Fatalf("allocation indices wrong: v=%d reg=%v", v, reg)
+	}
+	if c.NumQubits() != 4 {
+		t.Errorf("NumQubits = %d, want 4", c.NumQubits())
+	}
+	if c.Label(2) != "e[1]" {
+		t.Errorf("Label(2) = %q, want e[1]", c.Label(2))
+	}
+}
+
+func TestXGateReversible(t *testing.T) {
+	c := NewCircuit()
+	q := c.Alloc("q")
+	c.X(q)
+	st := bitvec.New(1)
+	c.RunReversible(st)
+	if !st.Get(0) {
+		t.Fatal("X did not flip |0> to |1>")
+	}
+	c.RunReversible(st)
+	if st.Get(0) {
+		t.Fatal("second X did not restore |0>")
+	}
+}
+
+func TestCNOTTruthTable(t *testing.T) {
+	for _, tc := range []struct {
+		ctl, tgt, wantTgt bool
+	}{
+		{false, false, false},
+		{false, true, true},
+		{true, false, true},
+		{true, true, false},
+	} {
+		c := NewCircuit()
+		a, b := c.Alloc("a"), c.Alloc("b")
+		c.CX(a, b)
+		st := bitvec.New(2)
+		st.Set(0, tc.ctl)
+		st.Set(1, tc.tgt)
+		c.RunReversible(st)
+		if st.Get(1) != tc.wantTgt {
+			t.Errorf("CNOT(%v,%v): target = %v, want %v", tc.ctl, tc.tgt, st.Get(1), tc.wantTgt)
+		}
+		if st.Get(0) != tc.ctl {
+			t.Error("CNOT mutated its control")
+		}
+		_ = a
+	}
+}
+
+func TestToffoliAndNegativeControls(t *testing.T) {
+	c := NewCircuit()
+	a, b, d := c.Alloc("a"), c.Alloc("b"), c.Alloc("d")
+	c.CCX(a, b, d)
+	st := bitvec.New(3)
+	st.Set(0, true)
+	c.RunReversible(st)
+	if st.Get(2) {
+		t.Error("CCX fired with only one control set")
+	}
+	st.Set(1, true)
+	c.RunReversible(st)
+	if !st.Get(2) {
+		t.Error("CCX did not fire with both controls set")
+	}
+
+	// Hollow-dot control (Fig. 4): fires when control is |0>.
+	c2 := NewCircuit()
+	x, y := c2.Alloc("x"), c2.Alloc("y")
+	c2.MCX([]Control{Off(x)}, y)
+	st2 := bitvec.New(2)
+	c2.RunReversible(st2)
+	if !st2.Get(1) {
+		t.Error("negative control did not fire on |0>")
+	}
+	st2.Clear()
+	st2.Set(0, true)
+	c2.RunReversible(st2)
+	if st2.Get(1) {
+		t.Error("negative control fired on |1>")
+	}
+	_ = b
+}
+
+func TestInverseRestoresState(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCircuit()
+		qs := c.AllocReg("q", 8)
+		for i := 0; i < 40; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.X(qs[rng.Intn(8)])
+			case 1:
+				a, b := rng.Intn(8), rng.Intn(8)
+				if a != b {
+					c.CX(qs[a], qs[b])
+				}
+			default:
+				a, b, d := rng.Intn(8), rng.Intn(8), rng.Intn(8)
+				if a != b && b != d && a != d {
+					c.MCX([]Control{On(qs[a]), Off(qs[b])}, qs[d])
+				}
+			}
+		}
+		forward := c.Len()
+		c.AppendInverse(0, forward)
+		st := bitvec.New(8)
+		init := uint64(rng.Intn(256))
+		st.SetUint(0, 8, init)
+		c.RunReversible(st)
+		return st.Uint(0, 8) == init
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockAccounting(t *testing.T) {
+	c := NewCircuit()
+	a, b := c.Alloc("a"), c.Alloc("b")
+	c.SetBlock("enc")
+	c.X(a)
+	c.X(b)
+	c.SetBlock("count")
+	c.CX(a, b)
+	counts := c.GateCounts()
+	if counts["enc"] != 2 || counts["count"] != 1 {
+		t.Errorf("GateCounts = %v, want enc:2 count:1", counts)
+	}
+	st := bitvec.New(2)
+	execCounts := c.RunReversible(st)
+	if execCounts["enc"] != 2 || execCounts["count"] != 1 {
+		t.Errorf("exec counts = %v", execCounts)
+	}
+}
+
+func TestIsReversible(t *testing.T) {
+	c := NewCircuit()
+	q := c.Alloc("q")
+	c.X(q)
+	if !c.IsReversible() {
+		t.Error("X-only circuit reported non-reversible")
+	}
+	c.H(q)
+	if c.IsReversible() {
+		t.Error("circuit with H reported reversible")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RunReversible on H circuit did not panic")
+		}
+	}()
+	c.RunReversible(bitvec.New(1))
+}
+
+func TestEmitValidation(t *testing.T) {
+	c := NewCircuit()
+	q := c.Alloc("q")
+	for _, f := range []func(){
+		func() { c.X(5) },
+		func() { c.CX(q, q) },
+		func() { c.MCX([]Control{On(3)}, q) },
+		func() { c.AppendInverse(0, 99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic from invalid emit")
+				}
+			}()
+			f()
+		}()
+	}
+}

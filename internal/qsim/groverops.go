@@ -1,0 +1,41 @@
+package qsim
+
+import "math"
+
+// Operations used by the Grover engine when the register holds only the
+// n vertex qubits and the oracle's ancilla work is executed classically
+// per basis state (see package comment and DESIGN.md).
+
+// ApplyPhaseOracle multiplies the amplitude of every basis state for which
+// marked returns true by -1. This is exactly the effect of the paper's
+// U_check / sign-flip / U_check† sandwich on the vertex register, because
+// U_check is a basis-state permutation and the ancillae return to |0...0>.
+func (s *Statevector) ApplyPhaseOracle(marked func(uint64) bool) {
+	for i := range s.amp {
+		if marked(uint64(i)) {
+			s.amp[i] = -s.amp[i]
+		}
+	}
+}
+
+// ApplyDiffusion performs the Grover diffusion operator: every amplitude a
+// is replaced by 2ā - a where ā is the mean amplitude ("inversion about
+// the average", Fig. 4c of the paper). It equals H^⊗n (2|0><0| - I) H^⊗n.
+func (s *Statevector) ApplyDiffusion() {
+	var mean complex128
+	for _, a := range s.amp {
+		mean += a
+	}
+	mean /= complex(float64(len(s.amp)), 0)
+	for i, a := range s.amp {
+		s.amp[i] = 2*mean - a
+	}
+}
+
+// EqualSuperposition resets s to H^⊗n |0...0>.
+func (s *Statevector) EqualSuperposition() {
+	v := complex(1/math.Sqrt(float64(len(s.amp))), 0)
+	for i := range s.amp {
+		s.amp[i] = v
+	}
+}

@@ -1,0 +1,66 @@
+package qsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderTinyCircuit(t *testing.T) {
+	c := NewCircuit()
+	a := c.Alloc("v1")
+	b := c.Alloc("v2")
+	e := c.Alloc("e1")
+	c.H(a)
+	c.CCX(a, b, e)
+	c.MCX([]Control{Off(b)}, e)
+
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rendered %d rows, want 3:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "H") {
+		t.Errorf("row v1 missing H: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "●") || !strings.Contains(lines[1], "●") {
+		t.Errorf("positive controls missing:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "○") {
+		t.Errorf("hollow (negative) control missing: %q", lines[1])
+	}
+	if strings.Count(lines[2], "⊕") != 2 {
+		t.Errorf("targets missing on e1: %q", lines[2])
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "|v") && !strings.HasPrefix(l, "|e") {
+			t.Errorf("row missing ket label: %q", l)
+		}
+	}
+}
+
+func TestRenderVerticalConnector(t *testing.T) {
+	c := NewCircuit()
+	a := c.Alloc("a")
+	_ = c.Alloc("mid")
+	b := c.Alloc("b")
+	c.CX(a, b)
+	lines := strings.Split(strings.TrimRight(c.String(), "\n"), "\n")
+	if !strings.Contains(lines[1], "│") {
+		t.Errorf("pass-through qubit should show a connector: %q", lines[1])
+	}
+}
+
+func TestRenderTruncation(t *testing.T) {
+	c := NewCircuit()
+	q := c.Alloc("q")
+	for i := 0; i < 50; i++ {
+		c.X(q)
+	}
+	var b strings.Builder
+	if err := c.Render(&b, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "+40 more gates") {
+		t.Errorf("truncation note missing:\n%s", b.String())
+	}
+}

@@ -1,0 +1,176 @@
+package qsim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// MaxStatevectorQubits bounds dense simulation; 2^26 amplitudes ≈ 1 GiB.
+const MaxStatevectorQubits = 26
+
+// Statevector is a dense 2^n amplitude vector. Qubit 0 is the most
+// significant bit of a basis index (the paper's |v1 v2 ... vn> order).
+type Statevector struct {
+	n   int
+	amp []complex128
+}
+
+// NewStatevector returns |00...0> on n qubits.
+func NewStatevector(n int) *Statevector {
+	if n < 1 || n > MaxStatevectorQubits {
+		panic(fmt.Sprintf("qsim: statevector qubit count %d out of [1,%d]", n, MaxStatevectorQubits))
+	}
+	s := &Statevector{n: n, amp: make([]complex128, 1<<uint(n))}
+	s.amp[0] = 1
+	return s
+}
+
+// NumQubits returns the register width.
+func (s *Statevector) NumQubits() int { return s.n }
+
+// Amplitudes returns the underlying amplitude slice (not a copy).
+func (s *Statevector) Amplitudes() []complex128 { return s.amp }
+
+// bit returns the bit mask selecting qubit q inside a basis index.
+func (s *Statevector) bit(q int) uint64 {
+	if q < 0 || q >= s.n {
+		panic(fmt.Sprintf("qsim: qubit %d out of range [0,%d)", q, s.n))
+	}
+	return 1 << uint(s.n-1-q)
+}
+
+// ApplyX applies a NOT gate to qubit q.
+func (s *Statevector) ApplyX(q int) {
+	m := s.bit(q)
+	for i := uint64(0); i < uint64(len(s.amp)); i++ {
+		if i&m == 0 {
+			s.amp[i], s.amp[i|m] = s.amp[i|m], s.amp[i]
+		}
+	}
+}
+
+// ApplyH applies a Hadamard gate to qubit q.
+func (s *Statevector) ApplyH(q int) {
+	m := s.bit(q)
+	inv := complex(1/math.Sqrt2, 0)
+	for i := uint64(0); i < uint64(len(s.amp)); i++ {
+		if i&m == 0 {
+			a, b := s.amp[i], s.amp[i|m]
+			s.amp[i] = inv * (a + b)
+			s.amp[i|m] = inv * (a - b)
+		}
+	}
+}
+
+// ApplyZ applies a phase flip to qubit q.
+func (s *Statevector) ApplyZ(q int) {
+	m := s.bit(q)
+	for i := uint64(0); i < uint64(len(s.amp)); i++ {
+		if i&m != 0 {
+			s.amp[i] = -s.amp[i]
+		}
+	}
+}
+
+// controlsSatisfied reports whether basis index i satisfies all controls.
+func (s *Statevector) controlsSatisfied(i uint64, controls []Control) bool {
+	for _, ctl := range controls {
+		on := i&s.bit(ctl.Qubit) != 0
+		if on != ctl.Positive {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyMCX applies a multi-controlled X.
+func (s *Statevector) ApplyMCX(controls []Control, target int) {
+	m := s.bit(target)
+	for i := uint64(0); i < uint64(len(s.amp)); i++ {
+		if i&m == 0 {
+			// The controls must hold regardless of the target bit;
+			// controls never include the target.
+			if s.controlsSatisfied(i, controls) {
+				s.amp[i], s.amp[i|m] = s.amp[i|m], s.amp[i]
+			}
+		}
+	}
+}
+
+// ApplyMCZ applies a multi-controlled Z.
+func (s *Statevector) ApplyMCZ(controls []Control, target int) {
+	m := s.bit(target)
+	for i := uint64(0); i < uint64(len(s.amp)); i++ {
+		if i&m != 0 && s.controlsSatisfied(i, controls) {
+			s.amp[i] = -s.amp[i]
+		}
+	}
+}
+
+// Run executes every gate of the circuit on s. The circuit must not use
+// more qubits than s has.
+func (s *Statevector) Run(c *Circuit) {
+	if c.NumQubits() > s.n {
+		panic(fmt.Sprintf("qsim: circuit needs %d qubits, statevector has %d", c.NumQubits(), s.n))
+	}
+	for _, g := range c.Gates() {
+		switch g.Kind {
+		case KindX:
+			s.ApplyMCX(g.Controls, g.Target)
+		case KindH:
+			s.ApplyH(g.Target)
+		case KindZ:
+			s.ApplyMCZ(g.Controls, g.Target)
+		default:
+			panic(fmt.Sprintf("qsim: unknown gate kind %v", g.Kind))
+		}
+	}
+}
+
+// Probability returns |amp[basis]|².
+func (s *Statevector) Probability(basis uint64) float64 {
+	p := cmplx.Abs(s.amp[basis])
+	return p * p
+}
+
+// Probabilities returns the full measurement distribution.
+func (s *Statevector) Probabilities() []float64 {
+	out := make([]float64, len(s.amp))
+	for i, a := range s.amp {
+		out[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return out
+}
+
+// Norm returns the state's 2-norm (should stay 1 up to float error).
+func (s *Statevector) Norm() float64 {
+	var sum float64
+	for _, a := range s.amp {
+		sum += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(sum)
+}
+
+// Measure samples one basis state from the distribution.
+func (s *Statevector) Measure(rng *rand.Rand) uint64 {
+	r := rng.Float64()
+	var cum float64
+	for i, a := range s.amp {
+		cum += real(a)*real(a) + imag(a)*imag(a)
+		if r < cum {
+			return uint64(i)
+		}
+	}
+	return uint64(len(s.amp) - 1)
+}
+
+// Sample draws shots measurements and returns per-basis counts.
+func (s *Statevector) Sample(shots int, rng *rand.Rand) map[uint64]int {
+	counts := make(map[uint64]int)
+	for i := 0; i < shots; i++ {
+		counts[s.Measure(rng)]++
+	}
+	return counts
+}

@@ -1,0 +1,214 @@
+package qsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+const eps = 1e-12
+
+func TestNewStatevectorIsZeroKet(t *testing.T) {
+	s := NewStatevector(3)
+	if p := s.Probability(0); math.Abs(p-1) > eps {
+		t.Errorf("P(|000>) = %v, want 1", p)
+	}
+	if math.Abs(s.Norm()-1) > eps {
+		t.Errorf("norm = %v", s.Norm())
+	}
+}
+
+func TestQubitOrderMatchesPaperKets(t *testing.T) {
+	// Flipping qubit 0 (|v1>) of a 6-qubit register must set basis 32
+	// (|100000>), matching the paper's most-significant-first labels.
+	s := NewStatevector(6)
+	s.ApplyX(0)
+	if p := s.Probability(32); math.Abs(p-1) > eps {
+		t.Fatalf("P(32) = %v after X on qubit 0", p)
+	}
+	s.ApplyX(5)
+	if p := s.Probability(33); math.Abs(p-1) > eps {
+		t.Fatalf("P(33) = %v after X on qubits 0 and 5 (|100001>)", p)
+	}
+}
+
+func TestHadamardSuperpositionAndInverse(t *testing.T) {
+	s := NewStatevector(1)
+	s.ApplyH(0)
+	if math.Abs(s.Probability(0)-0.5) > eps || math.Abs(s.Probability(1)-0.5) > eps {
+		t.Fatalf("H|0> probabilities = %v, %v", s.Probability(0), s.Probability(1))
+	}
+	s.ApplyH(0)
+	if math.Abs(s.Probability(0)-1) > eps {
+		t.Error("HH != I")
+	}
+}
+
+func TestHadamardSign(t *testing.T) {
+	// H|1> = (|0> - |1>)/√2: amplitude of |1> must be negative.
+	s := NewStatevector(1)
+	s.ApplyX(0)
+	s.ApplyH(0)
+	if real(s.Amplitudes()[1]) > 0 {
+		t.Error("H|1> has positive |1> amplitude")
+	}
+}
+
+func TestZGate(t *testing.T) {
+	s := NewStatevector(1)
+	s.ApplyH(0)
+	s.ApplyZ(0)
+	s.ApplyH(0)
+	// HZH = X.
+	if p := s.Probability(1); math.Abs(p-1) > eps {
+		t.Errorf("HZH|0> != |1>: P(1) = %v", p)
+	}
+}
+
+func TestRunMatchesReversibleOnBasisStates(t *testing.T) {
+	// A random reversible circuit must act identically on the
+	// statevector and on classical bit vectors — the foundational claim
+	// behind the hybrid oracle simulator.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		c := NewCircuit()
+		qs := c.AllocReg("q", 6)
+		for i := 0; i < 30; i++ {
+			a, b, d := rng.Intn(6), rng.Intn(6), rng.Intn(6)
+			switch {
+			case rng.Intn(3) == 0:
+				c.X(qs[a])
+			case a != b && rng.Intn(2) == 0:
+				c.CX(qs[a], qs[b])
+			case a != b && b != d && a != d:
+				c.MCX([]Control{On(qs[a]), Off(qs[b])}, qs[d])
+			}
+		}
+		start := uint64(rng.Intn(64))
+
+		st := bitvec.New(6)
+		st.SetUint(0, 6, start)
+		c.RunReversible(st)
+		// bitvec stores qubit i at bit i (LSB-first); statevector basis
+		// uses qubit 0 as MSB. Convert.
+		var wantBasis uint64
+		for q := 0; q < 6; q++ {
+			if st.Get(q) {
+				wantBasis |= 1 << uint(5-q)
+			}
+		}
+
+		sv := NewStatevector(6)
+		var startBasis uint64
+		for q := 0; q < 6; q++ {
+			if start&(1<<uint(q)) != 0 {
+				sv.ApplyX(q)
+				startBasis |= 1 << uint(5-q)
+			}
+		}
+		sv.Run(c)
+		if p := sv.Probability(wantBasis); math.Abs(p-1) > eps {
+			t.Fatalf("trial %d: statevector disagrees with reversible exec (P=%v)", trial, p)
+		}
+	}
+}
+
+func TestMCZPhase(t *testing.T) {
+	s := NewStatevector(2)
+	s.ApplyH(0)
+	s.ApplyH(1)
+	s.ApplyMCZ([]Control{On(0)}, 1)
+	amps := s.Amplitudes()
+	// Only |11> should have flipped sign.
+	for i, want := range []float64{0.5, 0.5, 0.5, -0.5} {
+		if math.Abs(real(amps[i])-want) > eps {
+			t.Errorf("amp[%d] = %v, want %v", i, amps[i], want)
+		}
+	}
+}
+
+func TestPhaseOracleAndDiffusion(t *testing.T) {
+	// One Grover iteration on 3 qubits with a single marked state must
+	// match the closed form sin²(3θ) with θ = arcsin(1/√8).
+	s := NewStatevector(3)
+	s.EqualSuperposition()
+	marked := uint64(5)
+	s.ApplyPhaseOracle(func(b uint64) bool { return b == marked })
+	s.ApplyDiffusion()
+	theta := math.Asin(1 / math.Sqrt(8))
+	want := math.Pow(math.Sin(3*theta), 2)
+	if got := s.Probability(marked); math.Abs(got-want) > 1e-9 {
+		t.Errorf("P(marked) after 1 iteration = %v, want %v", got, want)
+	}
+	if math.Abs(s.Norm()-1) > 1e-9 {
+		t.Errorf("norm drifted: %v", s.Norm())
+	}
+}
+
+func TestDiffusionEqualsGateDecomposition(t *testing.T) {
+	// ApplyDiffusion must equal H^⊗n X^⊗n (C^{n-1}Z) X^⊗n H^⊗n.
+	n := 4
+	rng := rand.New(rand.NewSource(17))
+	a := NewStatevector(n)
+	a.EqualSuperposition()
+	// Random phase pattern to make the state non-trivial.
+	mask := uint64(rng.Intn(16))
+	a.ApplyPhaseOracle(func(b uint64) bool { return b&mask == mask })
+	b := &Statevector{n: n, amp: append([]complex128(nil), a.amp...)}
+
+	a.ApplyDiffusion()
+
+	c := NewCircuit()
+	qs := c.AllocReg("q", n)
+	for _, q := range qs {
+		c.H(q)
+		c.X(q)
+	}
+	var ctrls []Control
+	for _, q := range qs[:n-1] {
+		ctrls = append(ctrls, On(q))
+	}
+	c.MCZ(ctrls, qs[n-1])
+	for _, q := range qs {
+		c.X(q)
+		c.H(q)
+	}
+	b.Run(c)
+
+	for i := range a.amp {
+		// The gate decomposition implements -D (global phase -1), which
+		// is physically identical. Compare up to that global sign.
+		if diff := a.amp[i] + b.amp[i]; math.Abs(real(diff)) > 1e-9 || math.Abs(imag(diff)) > 1e-9 {
+			t.Fatalf("amp[%d]: direct %v vs gates %v", i, a.amp[i], b.amp[i])
+		}
+	}
+}
+
+func TestMeasureAndSample(t *testing.T) {
+	s := NewStatevector(2)
+	s.ApplyH(0)
+	rng := rand.New(rand.NewSource(5))
+	counts := s.Sample(10000, rng)
+	// Only |00> (0) and |10> (2) should appear, roughly evenly.
+	if counts[1] != 0 || counts[3] != 0 {
+		t.Errorf("impossible outcomes sampled: %v", counts)
+	}
+	if counts[0] < 4500 || counts[0] > 5500 {
+		t.Errorf("P(|00>) sampled %d/10000, want ~5000", counts[0])
+	}
+}
+
+func TestStatevectorBounds(t *testing.T) {
+	for _, n := range []int{0, -1, MaxStatevectorQubits + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewStatevector(%d) did not panic", n)
+				}
+			}()
+			NewStatevector(n)
+		}()
+	}
+}

@@ -1,0 +1,56 @@
+package qubo
+
+// MILP is the paper's linearization (Eq. milp) of a QUBO: every product
+// X_u·X_v is replaced by an auxiliary variable y_{u,v} constrained by
+//
+//	y ≤ X_u,  y ≤ X_v,  y ≥ X_u + X_v - 1,  y ≥ 0
+//
+// while diagonal terms X_u² = X_u stay linear. The objective is
+// Offset + Σ CX[i]·X_i + Σ Pairs[p].C·y_p.
+type MILP struct {
+	NumX   int
+	Offset float64
+	CX     []float64
+	Pairs  []Pair
+}
+
+// Pair is one linearized product term.
+type Pair struct {
+	U, V int
+	C    float64
+}
+
+// Linearize produces the MILP form of the model.
+func (m *Model) Linearize() *MILP {
+	out := &MILP{
+		NumX:   m.n,
+		Offset: m.Offset,
+		CX:     append([]float64(nil), m.linear...),
+	}
+	for _, k := range m.Interactions() {
+		out.Pairs = append(out.Pairs, Pair{U: k[0], V: k[1], C: m.quad[k]})
+	}
+	return out
+}
+
+// NumVars returns the total MILP variable count (X plus one y per pair) —
+// the model size handed to the exact solver.
+func (l *MILP) NumVars() int { return l.NumX + len(l.Pairs) }
+
+// Evaluate computes the MILP objective for a binary X assignment with
+// every y at its integrally forced value y = X_u ∧ X_v. By construction it
+// equals the QUBO objective.
+func (l *MILP) Evaluate(x []bool) float64 {
+	v := l.Offset
+	for i, b := range x {
+		if b {
+			v += l.CX[i]
+		}
+	}
+	for _, p := range l.Pairs {
+		if x[p.U] && x[p.V] {
+			v += p.C
+		}
+	}
+	return v
+}

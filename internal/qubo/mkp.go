@@ -1,0 +1,195 @@
+package qubo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// MKPEncoding is the paper's Section IV reformulation of the maximum
+// k-plex problem as a QUBO over the complement graph Ḡ:
+//
+//	F = -Σ_i x_i + R · Σ_i (Σ_{j∈N̄(i)} x_j + s_i - (k-1) - M_i(1-x_i))²
+//
+// with per-vertex big-M constants M_i = d̄(v_i) - k + 1 (the paper's lower
+// bound choice), slack variables s_i in binary expansion with
+// L_i = ⌈log₂(max(d̄(v_i), k-1)+1)⌉ bits (the +1 fixes the paper's
+// power-of-two under-count), and penalty weight R > 1. Vertices whose
+// complement degree is already ≤ k-1 can never violate the constraint, so
+// they contribute no penalty and no slack bits.
+type MKPEncoding struct {
+	Model *Model
+	G     *graph.Graph // original graph
+	Comp  *graph.Graph // complement, the constraint graph
+	N     int
+	K     int
+	R     float64
+
+	slackStart []int // first slack variable of vertex i (-1 if none)
+	slackWidth []int
+}
+
+// FormulateMKP builds the QUBO for graph g with parameters k and penalty
+// weight R. R must exceed 1 for the global minimum to coincide with a
+// maximum k-plex (Section IV-B3).
+func FormulateMKP(g *graph.Graph, k int, r float64) (*MKPEncoding, error) {
+	n := g.N()
+	if n < 1 {
+		return nil, fmt.Errorf("qubo: empty graph")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("qubo: k=%d out of range [1,%d]", k, n)
+	}
+	if r <= 1 {
+		return nil, fmt.Errorf("qubo: penalty R=%v must exceed 1", r)
+	}
+	e := &MKPEncoding{
+		Model:      NewModel(),
+		G:          g,
+		Comp:       g.Complement(),
+		N:          n,
+		K:          k,
+		R:          r,
+		slackStart: make([]int, n),
+		slackWidth: make([]int, n),
+	}
+	m := e.Model
+
+	// Vertex variables first: x_0 .. x_{n-1}.
+	for i := 0; i < n; i++ {
+		m.AddVar(fmt.Sprintf("x%d", i+1))
+		m.AddLinear(i, -1) // maximize Σx_i ⇒ minimize -Σx_i
+	}
+
+	// Slack registers.
+	for i := 0; i < n; i++ {
+		db := e.Comp.Degree(i)
+		if db <= k-1 {
+			// Constraint trivially satisfied; no penalty (paper's M_i
+			// would be ≤ 0).
+			e.slackStart[i] = -1
+			continue
+		}
+		maxSlack := db // = max(d̄, k-1) since d̄ > k-1 here
+		width := bitsFor(maxSlack)
+		e.slackStart[i] = m.N()
+		e.slackWidth[i] = width
+		for r0 := 0; r0 < width; r0++ {
+			m.AddVar(fmt.Sprintf("s%d_%d", i+1, r0))
+		}
+	}
+
+	// Penalty terms: p_i = (Σ_{j∈N̄(i)} x_j + s_i + M_i·x_i + C_i)² with
+	// C_i = -(k-1) - M_i, expanded into QUBO coefficients using z² = z.
+	for i := 0; i < n; i++ {
+		if e.slackStart[i] < 0 {
+			continue
+		}
+		mi := float64(e.Comp.Degree(i) - k + 1)
+		ci := -float64(k-1) - mi
+
+		// Linear expression: list of (variable, coefficient).
+		type term struct {
+			v int
+			a float64
+		}
+		var terms []term
+		for _, j := range e.Comp.Neighbors(i) {
+			terms = append(terms, term{v: j, a: 1})
+		}
+		for r0 := 0; r0 < e.slackWidth[i]; r0++ {
+			terms = append(terms, term{v: e.slackStart[i] + r0, a: math.Exp2(float64(r0))})
+		}
+		terms = append(terms, term{v: i, a: mi})
+
+		m.Offset += e.R * ci * ci
+		for t := range terms {
+			at := terms[t].a
+			m.AddLinear(terms[t].v, e.R*at*(at+2*ci))
+			for u := t + 1; u < len(terms); u++ {
+				m.AddQuad(terms[t].v, terms[u].v, e.R*2*at*terms[u].a)
+			}
+		}
+	}
+	return e, nil
+}
+
+// bitsFor returns ⌈log₂(max+1)⌉, the slack register width for values
+// 0..max (minimum 1).
+func bitsFor(max int) int {
+	w := 1
+	for (1 << uint(w)) <= max {
+		w++
+	}
+	return w
+}
+
+// NumVertexVars returns n; vertex variables occupy indices [0, n).
+func (e *MKPEncoding) NumVertexVars() int { return e.N }
+
+// NumSlackVars returns the total number of slack bits — the paper's
+// O(n log n) qubit-utilization figure.
+func (e *MKPEncoding) NumSlackVars() int { return e.Model.N() - e.N }
+
+// SlackWidth returns the slack register width of vertex i (0 if the
+// vertex needs no penalty).
+func (e *MKPEncoding) SlackWidth(i int) int { return e.slackWidth[i] }
+
+// Decode extracts the selected vertex set from an assignment.
+func (e *MKPEncoding) Decode(x []bool) []int {
+	var set []int
+	for i := 0; i < e.N; i++ {
+		if x[i] {
+			set = append(set, i)
+		}
+	}
+	return set
+}
+
+// DecodeValid reports the selected set and whether it is a genuine k-plex
+// of the original graph (slack configuration ignored, as the paper notes
+// the annealer "may find the optimal solution without optimally
+// configuring the slack variables").
+func (e *MKPEncoding) DecodeValid(x []bool) ([]int, bool) {
+	set := e.Decode(x)
+	return set, e.G.IsKPlex(set, e.K)
+}
+
+// IdealAssignment builds the assignment the formulation intends for a
+// given k-plex: vertex bits from the set, slack bits set to the exact
+// residuals. Its objective value is -|set| when set is a k-plex (used by
+// tests and by the R-correctness proof of Section IV-B3).
+func (e *MKPEncoding) IdealAssignment(set []int) []bool {
+	x := make([]bool, e.Model.N())
+	in := make([]bool, e.N)
+	for _, v := range set {
+		in[v] = true
+		x[v] = true
+	}
+	for i := 0; i < e.N; i++ {
+		if e.slackStart[i] < 0 {
+			continue
+		}
+		localDeg := 0
+		for _, j := range e.Comp.Neighbors(i) {
+			if in[j] {
+				localDeg++
+			}
+		}
+		mi := e.Comp.Degree(i) - e.K + 1
+		var s int
+		if in[i] {
+			s = (e.K - 1) - localDeg
+		} else {
+			s = (e.K - 1) + mi - localDeg
+		}
+		if s < 0 {
+			s = 0 // constraint violated: no slack can zero the penalty
+		}
+		for r0 := 0; r0 < e.slackWidth[i]; r0++ {
+			x[e.slackStart[i]+r0] = s&(1<<uint(r0)) != 0
+		}
+	}
+	return x
+}

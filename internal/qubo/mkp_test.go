@@ -1,0 +1,180 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestFormulateValidation(t *testing.T) {
+	g := graph.Example6()
+	if _, err := FormulateMKP(g, 0, 2); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := FormulateMKP(g, 2, 1.0); err == nil {
+		t.Error("R=1 accepted (must be > 1)")
+	}
+	if _, err := FormulateMKP(graph.New(0), 1, 2); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestIdealAssignmentEnergyEqualsNegSize(t *testing.T) {
+	// For any k-plex P, the intended assignment has F = -|P|
+	// (Section IV-B3's premise).
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.Gnp(8, 0.5, rng.Int63())
+		for k := 1; k <= 3; k++ {
+			e, err := FormulateMKP(g, k, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for mask := uint64(0); mask < 256; mask++ {
+				set := graph.MaskSubset(mask, 8)
+				if !g.IsKPlex(set, k) {
+					continue
+				}
+				x := e.IdealAssignment(set)
+				if got := e.Model.Evaluate(x); math.Abs(got-(-float64(len(set)))) > 1e-9 {
+					t.Fatalf("k=%d set=%v: F = %v, want %v", k, set, got, -float64(len(set)))
+				}
+			}
+		}
+	}
+}
+
+func TestViolatingAssignmentsArePenalized(t *testing.T) {
+	// Any assignment whose decoded set is NOT a k-plex must score
+	// strictly worse than -(size): the penalty term is positive for at
+	// least one vertex regardless of slack configuration.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Gnp(7, 0.5, rng.Int63())
+		k := 1 + rng.Intn(2)
+		e, err := FormulateMKP(g, k, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := e.Model.N()
+		// Exhaustive over vertex bits; random slack configurations.
+		for mask := uint64(0); mask < 128; mask++ {
+			set := graph.MaskSubset(mask, 7)
+			if g.IsKPlex(set, k) {
+				continue
+			}
+			for rep := 0; rep < 5; rep++ {
+				x := make([]bool, total)
+				for i := 0; i < 7; i++ {
+					x[i] = mask&(1<<uint(6-i)) != 0
+				}
+				for i := 7; i < total; i++ {
+					x[i] = rng.Intn(2) == 1
+				}
+				if got := e.Model.Evaluate(x); got <= -float64(len(set)) {
+					t.Fatalf("violating set %v scored %v ≤ %v", set, got, -float64(len(set)))
+				}
+			}
+		}
+	}
+}
+
+func TestGlobalMinimumIsMaximumKPlex(t *testing.T) {
+	// Brute-force the full QUBO on a small instance: the minimizing
+	// assignment must decode to a maximum k-plex with F = -opt.
+	g := graph.Example6()
+	e, err := FormulateMKP(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := e.Model.N()
+	if total > 22 {
+		t.Fatalf("model too large to brute force: %d vars", total)
+	}
+	best := math.Inf(1)
+	var bestX []bool
+	for mask := uint64(0); mask < 1<<uint(total); mask++ {
+		x := make([]bool, total)
+		for i := 0; i < total; i++ {
+			x[i] = mask&(1<<uint(i)) != 0
+		}
+		if v := e.Model.Evaluate(x); v < best {
+			best = v
+			bestX = x
+		}
+	}
+	set, valid := e.DecodeValid(bestX)
+	if !valid {
+		t.Fatalf("global minimum decodes to non-k-plex %v", set)
+	}
+	if len(set) != 4 || math.Abs(best-(-4)) > 1e-9 {
+		t.Errorf("global minimum: set=%v F=%v, want size 4 and F=-4", set, best)
+	}
+}
+
+func TestSlackBudgetIsNLogN(t *testing.T) {
+	// Total variables n(1 + ⌈log₂(max(d̄,k-1)+1)⌉) at most — the paper's
+	// O(n log n) claim. Verify the exact per-vertex accounting.
+	g := graph.Gnm(12, 30, 3)
+	k := 3
+	e, err := FormulateMKP(g, k, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := g.Complement()
+	wantSlack := 0
+	for v := 0; v < 12; v++ {
+		if comp.Degree(v) <= k-1 {
+			continue
+		}
+		max := comp.Degree(v)
+		w := 1
+		for (1 << uint(w)) <= max {
+			w++
+		}
+		wantSlack += w
+	}
+	if got := e.NumSlackVars(); got != wantSlack {
+		t.Errorf("slack vars = %d, want %d", got, wantSlack)
+	}
+	if e.Model.N() != 12+wantSlack {
+		t.Errorf("total vars = %d, want %d", e.Model.N(), 12+wantSlack)
+	}
+}
+
+func TestLowDegreeVerticesSkipPenalty(t *testing.T) {
+	// A complete graph has an edgeless complement: no vertex can violate
+	// the k-cplex constraint, so the model is penalty-free.
+	complete := graph.New(6)
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			complete.AddEdge(u, v)
+		}
+	}
+	e, err := FormulateMKP(complete, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumSlackVars() != 0 {
+		t.Errorf("edgeless complement produced %d slack vars", e.NumSlackVars())
+	}
+	if e.Model.NumInteractions() != 0 {
+		t.Errorf("edgeless complement produced %d interactions", e.Model.NumInteractions())
+	}
+}
+
+func TestDecode(t *testing.T) {
+	g := graph.Example6()
+	e, err := FormulateMKP(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]bool, e.Model.N())
+	x[0], x[1], x[3], x[4] = true, true, true, true
+	set, valid := e.DecodeValid(x)
+	if !valid || len(set) != 4 {
+		t.Errorf("DecodeValid = %v, %v", set, valid)
+	}
+}

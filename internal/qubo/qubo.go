@@ -1,0 +1,232 @@
+// Package qubo implements quadratic unconstrained binary optimization
+// models, the paper's MKP→QUBO reformulation (Section IV), the QUBO→Ising
+// conversion used by the annealing substrate, and the MILP linearization
+// (Eq. milp) used by the exact-solver baseline.
+package qubo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Model is a QUBO: minimize offset + Σ linear[i]·x_i + Σ_{i<j} quad·x_i·x_j
+// over x ∈ {0,1}^n.
+type Model struct {
+	n      int
+	names  []string
+	Offset float64
+	linear []float64
+	quad   map[[2]int]float64
+}
+
+// NewModel returns an empty model with no variables.
+func NewModel() *Model {
+	return &Model{quad: make(map[[2]int]float64)}
+}
+
+// AddVar appends a fresh binary variable and returns its index.
+func (m *Model) AddVar(name string) int {
+	m.names = append(m.names, name)
+	m.linear = append(m.linear, 0)
+	m.n++
+	return m.n - 1
+}
+
+// N returns the number of variables.
+func (m *Model) N() int { return m.n }
+
+// Name returns the label of variable i.
+func (m *Model) Name(i int) string { return m.names[i] }
+
+// Linear returns the linear coefficient of variable i.
+func (m *Model) Linear(i int) float64 { return m.linear[i] }
+
+func (m *Model) check(i int) {
+	if i < 0 || i >= m.n {
+		panic(fmt.Sprintf("qubo: variable %d out of range [0,%d)", i, m.n))
+	}
+}
+
+// AddLinear adds v to the linear coefficient of x_i.
+func (m *Model) AddLinear(i int, v float64) {
+	m.check(i)
+	m.linear[i] += v
+}
+
+// AddQuad adds v to the coefficient of x_i·x_j (i ≠ j; order-free).
+// Diagonal contributions (i == j) fold into the linear term since x² = x.
+func (m *Model) AddQuad(i, j int, v float64) {
+	m.check(i)
+	m.check(j)
+	if i == j {
+		m.linear[i] += v
+		return
+	}
+	if i > j {
+		i, j = j, i
+	}
+	key := [2]int{i, j}
+	m.quad[key] += v
+	if m.quad[key] == 0 {
+		delete(m.quad, key)
+	}
+}
+
+// Quad returns the coefficient of x_i·x_j.
+func (m *Model) Quad(i, j int) float64 {
+	if i > j {
+		i, j = j, i
+	}
+	return m.quad[[2]int{i, j}]
+}
+
+// Interactions returns the non-zero quadratic pairs, sorted.
+func (m *Model) Interactions() [][2]int {
+	out := make([][2]int, 0, len(m.quad))
+	for k := range m.quad {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// NumInteractions returns the count of non-zero quadratic terms.
+func (m *Model) NumInteractions() int { return len(m.quad) }
+
+// Evaluate returns the objective value at assignment x.
+func (m *Model) Evaluate(x []bool) float64 {
+	if len(x) != m.n {
+		panic(fmt.Sprintf("qubo: assignment width %d != %d variables", len(x), m.n))
+	}
+	v := m.Offset
+	for i, b := range x {
+		if b {
+			v += m.linear[i]
+		}
+	}
+	for k, w := range m.quad {
+		if x[k[0]] && x[k[1]] {
+			v += w
+		}
+	}
+	return v
+}
+
+// Compiled is a flattened model for hot sampling loops: per-variable
+// adjacency with incremental flip deltas.
+type Compiled struct {
+	N      int
+	Offset float64
+	Linear []float64
+	Adj    [][]Weighted // Adj[i] lists (j, w) for every quad term touching i
+}
+
+// Weighted is one quadratic neighbour.
+type Weighted struct {
+	J int
+	W float64
+}
+
+// Compile flattens the model. Adjacency lists are sorted so floating-point
+// accumulation order — and therefore every seeded sampler trajectory — is
+// reproducible across processes (map iteration order is not).
+func (m *Model) Compile() *Compiled {
+	c := &Compiled{
+		N:      m.n,
+		Offset: m.Offset,
+		Linear: append([]float64(nil), m.linear...),
+		Adj:    make([][]Weighted, m.n),
+	}
+	for k, w := range m.quad {
+		i, j := k[0], k[1]
+		c.Adj[i] = append(c.Adj[i], Weighted{J: j, W: w})
+		c.Adj[j] = append(c.Adj[j], Weighted{J: i, W: w})
+	}
+	for i := range c.Adj {
+		sort.Slice(c.Adj[i], func(a, b int) bool { return c.Adj[i][a].J < c.Adj[i][b].J })
+	}
+	return c
+}
+
+// Energy evaluates the objective at x.
+func (c *Compiled) Energy(x []bool) float64 {
+	v := c.Offset
+	for i, b := range x {
+		if !b {
+			continue
+		}
+		v += c.Linear[i]
+		for _, nb := range c.Adj[i] {
+			if nb.J > i && x[nb.J] {
+				v += nb.W
+			}
+		}
+	}
+	return v
+}
+
+// FlipDelta returns the energy change from flipping variable i at x.
+func (c *Compiled) FlipDelta(x []bool, i int) float64 {
+	field := c.Linear[i]
+	for _, nb := range c.Adj[i] {
+		if x[nb.J] {
+			field += nb.W
+		}
+	}
+	if x[i] {
+		return -field
+	}
+	return field
+}
+
+// Ising is the spin-variable form: minimize offset + Σ h_i·s_i +
+// Σ_{i<j} J_ij·s_i·s_j with s ∈ {-1,+1}.
+type Ising struct {
+	N      int
+	Offset float64
+	H      []float64
+	J      map[[2]int]float64
+}
+
+// ToIsing converts the QUBO via x_i = (1+s_i)/2.
+func (m *Model) ToIsing() *Ising {
+	is := &Ising{N: m.n, Offset: m.Offset, H: make([]float64, m.n), J: make(map[[2]int]float64)}
+	for i, a := range m.linear {
+		is.H[i] += a / 2
+		is.Offset += a / 2
+	}
+	for k, w := range m.quad {
+		i, j := k[0], k[1]
+		is.J[[2]int{i, j}] += w / 4
+		is.H[i] += w / 4
+		is.H[j] += w / 4
+		is.Offset += w / 4
+	}
+	return is
+}
+
+// Energy evaluates the Ising objective at spins s.
+func (is *Ising) Energy(s []int8) float64 {
+	v := is.Offset
+	for i, h := range is.H {
+		v += h * float64(s[i])
+	}
+	for k, j := range is.J {
+		v += j * float64(s[k[0]]) * float64(s[k[1]])
+	}
+	return v
+}
+
+// SpinsToBits converts an Ising assignment back to QUBO booleans.
+func SpinsToBits(s []int8) []bool {
+	x := make([]bool, len(s))
+	for i, v := range s {
+		x[i] = v > 0
+	}
+	return x
+}

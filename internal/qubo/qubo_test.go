@@ -1,0 +1,171 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomModel(rng *rand.Rand, n int) *Model {
+	m := NewModel()
+	for i := 0; i < n; i++ {
+		m.AddVar("")
+	}
+	m.Offset = rng.Float64()*4 - 2
+	for i := 0; i < n; i++ {
+		m.AddLinear(i, rng.Float64()*4-2)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				m.AddQuad(i, j, rng.Float64()*4-2)
+			}
+		}
+	}
+	return m
+}
+
+func randomAssignment(rng *rand.Rand, n int) []bool {
+	x := make([]bool, n)
+	for i := range x {
+		x[i] = rng.Intn(2) == 1
+	}
+	return x
+}
+
+func TestEvaluateSmall(t *testing.T) {
+	m := NewModel()
+	a := m.AddVar("a")
+	b := m.AddVar("b")
+	m.Offset = 1
+	m.AddLinear(a, 2)
+	m.AddLinear(b, -3)
+	m.AddQuad(a, b, 5)
+	cases := []struct {
+		x    []bool
+		want float64
+	}{
+		{[]bool{false, false}, 1},
+		{[]bool{true, false}, 3},
+		{[]bool{false, true}, -2},
+		{[]bool{true, true}, 5},
+	}
+	for _, c := range cases {
+		if got := m.Evaluate(c.x); got != c.want {
+			t.Errorf("Evaluate(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestAddQuadSymmetricAndDiagonal(t *testing.T) {
+	m := NewModel()
+	a, b := m.AddVar("a"), m.AddVar("b")
+	m.AddQuad(b, a, 2) // reversed order
+	if m.Quad(a, b) != 2 {
+		t.Error("reversed AddQuad lost")
+	}
+	m.AddQuad(a, a, 3) // diagonal folds to linear
+	if m.Linear(a) != 3 {
+		t.Error("diagonal quad did not fold into linear")
+	}
+	m.AddQuad(a, b, -2) // cancels to zero and is pruned
+	if m.NumInteractions() != 0 {
+		t.Error("zero interaction not pruned")
+	}
+}
+
+func TestCompiledMatchesEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		m := randomModel(rng, 8)
+		c := m.Compile()
+		for rep := 0; rep < 20; rep++ {
+			x := randomAssignment(rng, 8)
+			if got, want := c.Energy(x), m.Evaluate(x); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("Energy = %v, Evaluate = %v", got, want)
+			}
+		}
+	}
+}
+
+func TestFlipDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		m := randomModel(rng, 7)
+		c := m.Compile()
+		x := randomAssignment(rng, 7)
+		for i := 0; i < 7; i++ {
+			before := c.Energy(x)
+			delta := c.FlipDelta(x, i)
+			x[i] = !x[i]
+			after := c.Energy(x)
+			x[i] = !x[i]
+			if math.Abs(after-before-delta) > 1e-9 {
+				t.Fatalf("FlipDelta(%d) = %v, want %v", i, delta, after-before)
+			}
+		}
+	}
+}
+
+func TestIsingEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		m := randomModel(rng, 6)
+		is := m.ToIsing()
+		for mask := 0; mask < 64; mask++ {
+			x := make([]bool, 6)
+			s := make([]int8, 6)
+			for i := 0; i < 6; i++ {
+				x[i] = mask&(1<<uint(i)) != 0
+				if x[i] {
+					s[i] = 1
+				} else {
+					s[i] = -1
+				}
+			}
+			if got, want := is.Energy(s), m.Evaluate(x); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("Ising %v != QUBO %v at mask %b", got, want, mask)
+			}
+		}
+	}
+}
+
+func TestSpinsToBits(t *testing.T) {
+	got := SpinsToBits([]int8{1, -1, 1})
+	if !got[0] || got[1] || !got[2] {
+		t.Errorf("SpinsToBits = %v", got)
+	}
+}
+
+func TestLinearizeMatchesQUBO(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModel(rng, 7)
+		l := m.Linearize()
+		if l.NumVars() != m.N()+m.NumInteractions() {
+			return false
+		}
+		for rep := 0; rep < 10; rep++ {
+			x := randomAssignment(rng, 7)
+			if math.Abs(l.Evaluate(x)-m.Evaluate(x)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateWidthMismatchPanics(t *testing.T) {
+	m := NewModel()
+	m.AddVar("a")
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch did not panic")
+		}
+	}()
+	m.Evaluate([]bool{true, false})
+}
