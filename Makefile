@@ -1,0 +1,40 @@
+# Build and verification entry points. `make ci` is what the GitHub
+# workflow runs; every target is also usable standalone.
+
+GO ?= go
+
+.PHONY: build fmt-check vet lint test race fuzz-smoke ci
+
+build:
+	$(GO) build ./...
+
+# gofmt must have nothing to rewrite anywhere in the tree (fixtures under
+# testdata included — they are parsed by the analyzer tests).
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt -w needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# The repo's own analyzers (see internal/analysis): panic prefixes,
+# seeded randomness, float comparisons, dropped module errors.
+lint:
+	$(GO) run ./cmd/repro-lint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short randomized runs of the native fuzz targets (the checked-in seed
+# corpora always run as part of `make test`).
+fuzz-smoke:
+	$(GO) test ./internal/qarith/ -fuzz FuzzRippleCarryAdder -fuzztime 5s
+	$(GO) test ./internal/qarith/ -fuzz FuzzComparator -fuzztime 5s
+	$(GO) test ./internal/bitvec/ -fuzz FuzzBitVec -fuzztime 5s
+
+ci: build fmt-check vet lint test race

@@ -1,0 +1,90 @@
+// Command repro-lint runs the repository's custom static analyzers (see
+// internal/analysis) over the whole module and prints findings as
+//
+//	file:line: [analyzer] message
+//
+// It exits 1 when any finding is reported and 2 on load failure, so it
+// can gate CI. Package patterns on the command line are accepted for
+// familiarity (`repro-lint ./...`) but the tool always analyzes the
+// module containing the working directory.
+//
+//	repro-lint ./...        # lint the whole module
+//	repro-lint -list        # describe the analyzers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the analyzers and exit")
+		verbose = flag.Bool("v", false, "also print type-check warnings")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro-lint:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(root, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro-lint:", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		for path, errs := range loader.TypeErrors() {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "repro-lint: %s: type warning: %v\n", path, e)
+			}
+		}
+	}
+	diags := analysis.Run(pkgs, analysis.All())
+	for _, d := range diags {
+		if rel, err := filepath.Rel(".", d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repro-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,165 @@
+// Package analysis is the repo's zero-dependency static-analysis layer:
+// a small loader/driver framework (go/parser + go/types, stdlib only) and
+// the custom analyzers that encode this codebase's conventions — panic
+// message prefixes, injected seeded randomness, no exact float
+// comparisons in the numeric packages, and no silently dropped module
+// errors. cmd/repro-lint is the command-line driver; the analyzers are
+// also exercised by fixture tests under testdata/src.
+//
+// The framework is deliberately analysistest-shaped but much smaller:
+// an Analyzer inspects one type-checked Package at a time and reports
+// Diagnostics; a finding can be suppressed at a specific line with a
+//
+//	//lint:allow <analyzer> <reason>
+//
+// comment on the flagged line (or the line above it), which keeps the
+// analyzers strict while documenting every intentional exception in the
+// source itself.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the driver's output line format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// SourceFile is one parsed file of a package.
+type SourceFile struct {
+	Name string // file path as given to the loader
+	AST  *ast.File
+	Test bool // *_test.go
+}
+
+// Package is one loaded, parsed and (best-effort) type-checked package.
+type Package struct {
+	Path   string // module-qualified import path, e.g. repro/internal/qsim
+	Module string // module path the package belongs to
+	Dir    string
+	Name   string // package clause name
+	Fset   *token.FileSet
+	Files  []*SourceFile
+
+	// Types and TypesInfo hold the go/types results for the non-test
+	// files. TypesInfo is nil when type checking was impossible.
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	allows map[allowKey]bool
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Analyzer inspects one package and reports diagnostics.
+type Analyzer interface {
+	Name() string
+	Doc() string
+	Check(pkg *Package) []Diagnostic
+}
+
+// All returns the full analyzer suite in output order.
+func All() []Analyzer {
+	return []Analyzer{
+		PanicMsg{},
+		SeededRand{},
+		FloatCmp{},
+		ErrRet{},
+	}
+}
+
+// Run applies every analyzer to every package, drops suppressed findings,
+// and returns the remainder sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			for _, d := range a.Check(pkg) {
+				if pkg.allowed(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// allowed reports whether a //lint:allow directive covers the diagnostic.
+func (p *Package) allowed(d Diagnostic) bool {
+	return p.allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+}
+
+// collectAllows indexes every //lint:allow directive of the package. A
+// directive covers its own line and, when it stands alone on a line, the
+// line below — the two places a human would write it.
+func (p *Package) collectAllows() {
+	p.allows = make(map[allowKey]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:allow"))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, name := range fields[:1] {
+					p.allows[allowKey{pos.Filename, pos.Line, name}] = true
+					p.allows[allowKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+}
+
+// report builds a diagnostic at an AST node.
+func (p *Package) report(a Analyzer, node ast.Node, format string, args ...interface{}) Diagnostic {
+	return Diagnostic{
+		Pos:      p.Fset.Position(node.Pos()),
+		Analyzer: a.Name(),
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// nonTestFiles yields the files analyzers subject to production-code
+// conventions.
+func (p *Package) nonTestFiles() []*SourceFile {
+	out := make([]*SourceFile, 0, len(p.Files))
+	for _, f := range p.Files {
+		if !f.Test {
+			out = append(out, f)
+		}
+	}
+	return out
+}

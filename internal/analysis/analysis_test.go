@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// loadFixtures loads the fixture module under testdata/src once per test.
+func loadFixtures(t *testing.T) []*Package {
+	t.Helper()
+	loader, err := NewLoader(filepath.Join("testdata", "src"), "fixture")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no fixture packages loaded")
+	}
+	for path, errs := range loader.TypeErrors() {
+		for _, e := range errs {
+			t.Errorf("fixture %s: type error: %v", path, e)
+		}
+	}
+	return pkgs
+}
+
+// want is one expected diagnostic, parsed from a `// want "substr"` marker.
+type want struct {
+	file   string
+	line   int
+	substr string
+}
+
+// collectWants extracts the expectation markers of one package.
+func collectWants(t *testing.T, pkg *Package) []want {
+	t.Helper()
+	var out []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				substr, err := strconv.Unquote(strings.TrimSpace(rest))
+				if err != nil {
+					t.Fatalf("%s: bad want marker %q: %v", f.Name, c.Text, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, want{file: pos.Filename, line: pos.Line, substr: substr})
+			}
+		}
+	}
+	return out
+}
+
+// checkFixture runs one analyzer over every fixture package and asserts
+// that the diagnostics in the packages it owns match their want markers
+// exactly, and that every other fixture package is clean.
+func checkFixture(t *testing.T, a Analyzer, owned ...string) {
+	t.Helper()
+	pkgs := loadFixtures(t)
+	ownedSet := make(map[string]bool)
+	for _, p := range owned {
+		ownedSet[p] = true
+	}
+	for _, pkg := range pkgs {
+		diags := Run([]*Package{pkg}, []Analyzer{a})
+		if !ownedSet[pkg.Path] {
+			for _, d := range diags {
+				t.Errorf("%s: unexpected diagnostic in clean package %s: %s", a.Name(), pkg.Path, d)
+			}
+			continue
+		}
+		wants := collectWants(t, pkg)
+		if len(wants) == 0 {
+			t.Fatalf("%s: fixture %s has no want markers", a.Name(), pkg.Path)
+		}
+		matched := make([]bool, len(wants))
+	diag:
+		for _, d := range diags {
+			for i, w := range wants {
+				if !matched[i] && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+					matched[i] = true
+					continue diag
+				}
+			}
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name(), d)
+		}
+		for i, w := range wants {
+			if !matched[i] {
+				t.Errorf("%s: missing diagnostic at %s:%d containing %q", a.Name(), w.file, w.line, w.substr)
+			}
+		}
+	}
+}
+
+func TestPanicMsg(t *testing.T) {
+	checkFixture(t, PanicMsg{}, "fixture/panicfix")
+}
+
+func TestSeededRand(t *testing.T) {
+	checkFixture(t, SeededRand{}, "fixture/seedfix")
+}
+
+func TestFloatCmp(t *testing.T) {
+	checkFixture(t, FloatCmp{}, "fixture/numeric/qsim")
+}
+
+func TestErrRet(t *testing.T) {
+	checkFixture(t, ErrRet{}, "fixture/errfix")
+}
+
+func TestDiagnosticFormat(t *testing.T) {
+	pkgs := loadFixtures(t)
+	diags := Run(pkgs, []Analyzer{PanicMsg{}})
+	if len(diags) == 0 {
+		t.Fatal("expected panicmsg diagnostics in fixtures")
+	}
+	line := diags[0].String()
+	// file:line: [analyzer] message — the format cmd/repro-lint prints.
+	if !strings.Contains(line, ": [panicmsg] ") || !strings.Contains(line, "panicfix.go:") {
+		t.Errorf("diagnostic format %q does not match file:line: [analyzer] message", line)
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Filename > b.Pos.Filename || (a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Errorf("diagnostics not sorted: %s before %s", a, b)
+		}
+	}
+}
+
+// TestSelfClean runs the full suite over this repository itself: the
+// merged tree must be lint-clean (the gate cmd/repro-lint enforces).
+func TestSelfClean(t *testing.T) {
+	loader, err := NewLoader(filepath.Join("..", ".."), "")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if loader.ModPath != "repro" {
+		t.Fatalf("module path = %q, want repro", loader.ModPath)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded only %d packages from the module", len(pkgs))
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("repository not lint-clean: %s", d)
+	}
+	for path, errs := range loader.TypeErrors() {
+		for _, e := range errs {
+			t.Errorf("%s: type error: %v", path, e)
+		}
+	}
+}

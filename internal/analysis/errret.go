@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrRet flags statements that call a function declared in this module
+// and silently discard an error result — `res.Render(w)` as a bare
+// statement, `go f()`, `defer f()`. Standard-library calls are exempt
+// (dropping fmt.Println's error is idiomatic); module calls are not,
+// because every error here marks a broken invariant the caller must at
+// least log. Deliberate drops take `_ =` (visible in review) or a
+// //lint:allow errret line.
+type ErrRet struct{}
+
+// Name implements Analyzer.
+func (ErrRet) Name() string { return "errret" }
+
+// Doc implements Analyzer.
+func (ErrRet) Doc() string {
+	return "error results of module-internal calls must not be silently dropped"
+}
+
+// Check implements Analyzer.
+func (a ErrRet) Check(pkg *Package) []Diagnostic {
+	if pkg.TypesInfo == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.nonTestFiles() {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = st.Call
+			case *ast.DeferStmt:
+				call = st.Call
+			}
+			if call == nil {
+				return true
+			}
+			fn := pkg.moduleFunc(call)
+			if fn == nil {
+				return true
+			}
+			if pos := errorResult(fn); pos >= 0 {
+				out = append(out, pkg.report(a, call,
+					"error result of %s.%s ignored", fn.Pkg().Name(), fn.Name()))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// moduleFunc resolves a call's callee to a function or method declared
+// inside this module, or nil.
+func (p *Package) moduleFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj, ok := p.TypesInfo.Uses[id]
+	if !ok {
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	if path != p.Module && !strings.HasPrefix(path, p.Module+"/") {
+		return nil
+	}
+	return fn
+}
+
+// errorResult returns the index of the first error-typed result of fn's
+// signature, or -1.
+func errorResult(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), types.Universe.Lookup("error").Type()) {
+			return i
+		}
+	}
+	return -1
+}

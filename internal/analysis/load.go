@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks the packages of one module without any
+// external tooling: module-internal imports are resolved recursively from
+// source, standard-library imports through go/importer's source mode
+// (reads GOROOT/src, so no compiled export data is needed).
+type Loader struct {
+	ModRoot string // module root directory
+	ModPath string // module path from go.mod
+
+	fset    *token.FileSet
+	std     types.Importer
+	parsed  map[string]*Package       // import path -> parsed package
+	checked map[string]*types.Package // import path -> type-checked
+	loading map[string]bool           // import cycle guard
+	errs    map[string][]error        // import path -> type errors
+}
+
+// NewLoader prepares a loader for the module rooted at dir. When modPath
+// is empty it is read from dir/go.mod.
+func NewLoader(dir, modPath string) (*Loader, error) {
+	if modPath == "" {
+		read, err := modulePath(filepath.Join(dir, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+		modPath = read
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModRoot: dir,
+		ModPath: modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		parsed:  make(map[string]*Package),
+		checked: make(map[string]*types.Package),
+		loading: make(map[string]bool),
+		errs:    make(map[string][]error),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(file string) (string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %v", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", file)
+}
+
+// LoadAll walks the module and returns every package containing Go files,
+// parsed, type-checked and sorted by import path. Directories named
+// testdata, hidden directories, and .github are skipped.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.ModRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: walking %s: %v", l.ModRoot, err)
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// importPathFor maps a directory to its module-qualified import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %s outside module root %s", dir, l.ModRoot)
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor inverts importPathFor.
+func (l *Loader) dirFor(path string) (string, bool) {
+	if path == l.ModPath {
+		return l.ModRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModRoot, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// LoadDir parses and type-checks the package in one directory. Returns
+// nil (no error) for directories without buildable Go files.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	pkg, err := l.parseDir(dir)
+	if err != nil || pkg == nil {
+		return pkg, err
+	}
+	l.check(pkg)
+	pkg.collectAllows()
+	return pkg, nil
+}
+
+// parseDir parses every .go file of a directory (memoized per import
+// path). Test files are parsed but excluded from type checking.
+func (l *Loader) parseDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.parsed[path]; ok {
+		return pkg, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %v", err)
+	}
+	pkg := &Package{Path: path, Module: l.ModPath, Dir: dir, Fset: l.fset}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		file := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(l.fset, file, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		sf := &SourceFile{Name: file, AST: f, Test: strings.HasSuffix(e.Name(), "_test.go")}
+		pkg.Files = append(pkg.Files, sf)
+		if !sf.Test && pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	if pkg.Name == "" { // test-only directory
+		pkg.Name = strings.TrimSuffix(pkg.Files[0].AST.Name.Name, "_test")
+	}
+	l.parsed[path] = pkg
+	return pkg, nil
+}
+
+// check runs go/types over the package's non-test files, resolving
+// imports through the loader itself. Type errors are recorded, not
+// fatal: the AST-based analyzers still run, and the type-driven ones
+// degrade to the expressions that did resolve.
+func (l *Loader) check(pkg *Package) {
+	if pkg.Types != nil || l.loading[pkg.Path] {
+		return
+	}
+	l.loading[pkg.Path] = true
+	defer delete(l.loading, pkg.Path)
+
+	var files []*ast.File
+	for _, f := range pkg.nonTestFiles() {
+		files = append(files, f.AST)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) { return l.importPkg(path) }),
+		Error: func(err error) {
+			l.errs[pkg.Path] = append(l.errs[pkg.Path], err)
+		},
+	}
+	tpkg, _ := conf.Check(pkg.Path, l.fset, files, info)
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	l.checked[pkg.Path] = tpkg
+}
+
+// importPkg resolves one import path: module-internal packages from
+// source (recursively), everything else via the GOROOT source importer.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if tp, ok := l.checked[path]; ok && tp != nil {
+		return tp, nil
+	}
+	if dir, ok := l.dirFor(path); ok {
+		if l.loading[path] {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		pkg, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: no Go files for %s", path)
+		}
+		l.check(pkg)
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("analysis: type check of %s failed", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// TypeErrors returns the accumulated type-check diagnostics per package.
+func (l *Loader) TypeErrors() map[string][]error { return l.errs }
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// PanicMsg enforces the repo's panic message convention: every panic in a
+// non-test file must carry a literal message prefixed with "<pkg>: " (the
+// style of internal/graph and internal/qubo), so a stack-less panic line
+// in a log still names the subsystem that raised it. Messages built with
+// fmt.Sprintf are checked through their format literal; anything whose
+// text cannot be determined statically is flagged too — use a literal, or
+// suppress with //lint:allow panicmsg where a non-literal is deliberate.
+type PanicMsg struct{}
+
+// Name implements Analyzer.
+func (PanicMsg) Name() string { return "panicmsg" }
+
+// Doc implements Analyzer.
+func (PanicMsg) Doc() string {
+	return `panic messages must be literals with the "<pkg>: " prefix`
+}
+
+// Check implements Analyzer.
+func (a PanicMsg) Check(pkg *Package) []Diagnostic {
+	prefixes := []string{pkg.Name + ": "}
+	if pkg.Name == "main" {
+		// Commands prefix with their command name instead.
+		prefixes = append(prefixes, filepath.Base(pkg.Dir)+": ")
+	}
+	var out []Diagnostic
+	for _, f := range pkg.nonTestFiles() {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun, ok := call.Fun.(*ast.Ident)
+			if !ok || fun.Name != "panic" || len(call.Args) != 1 {
+				return true
+			}
+			if !pkg.isBuiltin(fun) {
+				return true // a local function shadowing the builtin
+			}
+			msg, literal := messageText(call.Args[0])
+			if !literal {
+				out = append(out, pkg.report(a, call, "panic message is not a string literal; cannot verify the %q prefix", prefixes[0]))
+				return true
+			}
+			for _, p := range prefixes {
+				if strings.HasPrefix(msg, p) {
+					return true
+				}
+			}
+			out = append(out, pkg.report(a, call, "panic message %q lacks the %q prefix", truncate(msg, 40), prefixes[0]))
+			return true
+		})
+	}
+	return out
+}
+
+// isBuiltin reports whether an identifier resolves to a universe-scope
+// builtin (or cannot be resolved at all, in which case we assume it is).
+func (p *Package) isBuiltin(id *ast.Ident) bool {
+	if p.TypesInfo == nil {
+		return true
+	}
+	obj, ok := p.TypesInfo.Uses[id]
+	if !ok {
+		return true
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// messageText extracts the static text of a panic argument: a string
+// literal directly, or the format literal of a fmt.Sprintf call.
+func messageText(arg ast.Expr) (string, bool) {
+	switch e := arg.(type) {
+	case *ast.BasicLit:
+		if s, err := strconv.Unquote(e.Value); err == nil {
+			return s, true
+		}
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if x, ok := sel.X.(*ast.Ident); ok && x.Name == "fmt" &&
+				(sel.Sel.Name == "Sprintf" || sel.Sel.Name == "Sprint") && len(e.Args) > 0 {
+				return messageText(e.Args[0])
+			}
+		}
+	}
+	return "", false
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

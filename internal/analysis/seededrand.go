@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand forbids the global math/rand source in non-test files.
+// Every experiment in EXPERIMENTS.md is reproducible only because all
+// randomness flows through an injected, explicitly seeded *rand.Rand;
+// a single rand.Intn on the process-global source silently breaks that.
+// Constructors (rand.New, rand.NewSource, rand.NewZipf) are the allowed
+// entry points.
+type SeededRand struct{}
+
+// Name implements Analyzer.
+func (SeededRand) Name() string { return "seededrand" }
+
+// Doc implements Analyzer.
+func (SeededRand) Doc() string {
+	return "no global math/rand calls outside tests; inject a seeded *rand.Rand"
+}
+
+// seededRandAllowed lists the math/rand package-level functions that do
+// not touch the global source.
+var seededRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// Check implements Analyzer.
+func (a SeededRand) Check(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.nonTestFiles() {
+		randNames := randImportNames(f.AST)
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !pkg.isGlobalRandCall(sel, randNames) {
+				return true
+			}
+			out = append(out, pkg.report(a, call,
+				"global math/rand call rand.%s; use an injected seeded *rand.Rand", sel.Sel.Name))
+			return true
+		})
+	}
+	return out
+}
+
+// isGlobalRandCall reports whether sel names a global-source function of
+// math/rand. With type information the selector's object is checked
+// directly; without it, the file's import aliases are used.
+func (p *Package) isGlobalRandCall(sel *ast.SelectorExpr, randNames map[string]bool) bool {
+	if seededRandAllowed[sel.Sel.Name] {
+		return false
+	}
+	if p.TypesInfo != nil {
+		if obj, ok := p.TypesInfo.Uses[sel.Sel]; ok {
+			fn, isFn := obj.(*types.Func)
+			if !isFn || fn.Pkg() == nil {
+				return false
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return false
+			}
+			// Package-level functions only: methods on *rand.Rand are the
+			// sanctioned seeded path.
+			return fn.Type().(*types.Signature).Recv() == nil
+		}
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && randNames[x.Name]
+}
+
+// randImportNames returns the local names under which a file imports
+// math/rand (or v2).
+func randImportNames(f *ast.File) map[string]bool {
+	names := make(map[string]bool)
+	for _, imp := range f.Imports {
+		path := imp.Path.Value
+		if path != `"math/rand"` && path != `"math/rand/v2"` {
+			continue
+		}
+		name := "rand"
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		names[name] = true
+	}
+	return names
+}

@@ -1,0 +1,38 @@
+// Package errfix exercises errret: silently dropped error results of
+// module-internal calls are flagged; explicit discards, error-free calls
+// and standard-library calls are not.
+package errfix
+
+import (
+	"fmt"
+
+	"fixture/errlib"
+)
+
+func local() error { return nil }
+
+// Bad drops module errors in every statement position.
+func Bad() {
+	errlib.Do() // want "error result of errlib.Do ignored"
+	local()     // want "error result of errfix.local ignored"
+	var r errlib.R
+	r.Close()         // want "error result of errlib.Close ignored"
+	go errlib.Do()    // want "error result of errlib.Do ignored"
+	defer errlib.Do() // want "error result of errlib.Do ignored"
+}
+
+// BadMulti drops a (value, error) pair.
+func BadMulti() {
+	errlib.Value() // want "error result of errlib.Value ignored"
+}
+
+// Good handles, explicitly discards, or calls error-free functions.
+func Good() error {
+	if err := errlib.Do(); err != nil {
+		return err
+	}
+	_ = errlib.Do() // explicit discard is visible in review
+	errlib.Silent()
+	fmt.Println("stdlib errors may be dropped")
+	return nil
+}

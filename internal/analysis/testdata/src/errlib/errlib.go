@@ -1,0 +1,19 @@
+// Package errlib provides error-returning callees for the errret fixture.
+package errlib
+
+import "fmt"
+
+// Do returns only an error.
+func Do() error { return nil }
+
+// Value returns a value and an error.
+func Value() (int, error) { return 0, nil }
+
+// Silent returns no error; calling it as a statement is fine.
+func Silent() {}
+
+// R carries an error-returning method.
+type R struct{}
+
+// Close returns an error.
+func (R) Close() error { return fmt.Errorf("errlib: closed") }

@@ -1,0 +1,39 @@
+// Package qsim (fixture) exercises floatcmp: its import path ends in
+// /qsim, so exact float comparisons in non-test files are flagged.
+package qsim
+
+import "math"
+
+// Energy is a named float type; the check sees through it.
+type Energy float64
+
+// Bad compares floats exactly.
+func Bad(a, b float64) bool {
+	return a == b // want "exact floating-point comparison"
+}
+
+// BadZero compares a complex amplitude against zero.
+func BadZero(x complex128) bool {
+	return x != 0 // want "exact floating-point comparison"
+}
+
+// BadNamed compares through a named float type.
+func BadNamed(e Energy) bool {
+	return e == 0 // want "exact floating-point comparison"
+}
+
+// Sentinel shows the documented escape hatch for intentional exact
+// comparison of an untouched value.
+func Sentinel(v float64) bool {
+	return v == 0 //lint:allow floatcmp untouched sentinel, never computed
+}
+
+// Good compares with a tolerance.
+func Good(a, b float64) bool {
+	return math.Abs(a-b) < 1e-12
+}
+
+// GoodInt is integer equality, untouched by the check.
+func GoodInt(a, b int) bool {
+	return a == b
+}

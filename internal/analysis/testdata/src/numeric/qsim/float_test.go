@@ -1,0 +1,7 @@
+package qsim
+
+// Test files may compare floats exactly (asserting exact bit patterns is
+// a legitimate test technique).
+func exactForTests(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,8 @@
+// Package other is a floatcmp negative fixture: it is not one of the
+// numeric packages, so exact float comparisons here are not flagged.
+package other
+
+// Exact compares floats exactly outside the numeric packages.
+func Exact(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,33 @@
+// Package panicfix is a panicmsg fixture: prefixed literal panics pass,
+// unprefixed or dynamic messages are flagged.
+package panicfix
+
+import "fmt"
+
+// Bad panics without the package prefix.
+func Bad(n int) {
+	if n < 0 {
+		panic("negative input") // want "lacks the \"panicfix: \" prefix"
+	}
+	if n > 10 {
+		panic(fmt.Sprintf("too big: %d", n)) // want "lacks the \"panicfix: \" prefix"
+	}
+}
+
+// Dynamic panics with a message whose text is unknowable statically.
+func Dynamic(msg string) {
+	panic(msg) // want "not a string literal"
+}
+
+// Allowed shows the suppression directive.
+func Allowed(msg string) {
+	panic(msg) //lint:allow panicmsg message is pre-prefixed by every caller
+}
+
+// Good follows the convention both directly and through Sprintf.
+func Good(n int) {
+	if n < 0 {
+		panic("panicfix: negative input")
+	}
+	panic(fmt.Sprintf("panicfix: n=%d out of range", n))
+}

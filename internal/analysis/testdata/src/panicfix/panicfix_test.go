@@ -1,0 +1,6 @@
+package panicfix
+
+// Test files are exempt from the panic prefix convention.
+func helperForTests() {
+	panic("boom")
+}

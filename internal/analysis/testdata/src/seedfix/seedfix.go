@@ -1,0 +1,25 @@
+// Package seedfix is a seededrand fixture: global math/rand calls are
+// flagged, injected *rand.Rand usage and constructors are not.
+package seedfix
+
+import "math/rand"
+
+// Bad draws from the process-global source.
+func Bad() int {
+	return rand.Intn(10) // want "global math/rand call rand.Intn"
+}
+
+// AlsoBad shuffles with the global source.
+func AlsoBad(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand call rand.Shuffle"
+}
+
+// Good threads an injected generator.
+func Good(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// AlsoGood constructs a seeded generator — the sanctioned entry point.
+func AlsoGood(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,8 @@
+package seedfix
+
+import "math/rand"
+
+// Tests may use the global source freely.
+func shuffleForTests(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

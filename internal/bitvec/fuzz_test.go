@@ -1,0 +1,90 @@
+package bitvec
+
+import (
+	"testing"
+)
+
+// FuzzBitVec drives a Vector with an op-per-byte program and checks every
+// observation against a plain []bool model: set/get/flip round-trips,
+// OnesCount, Uint/SetUint windows, Clone/Equal/CopyFrom.
+func FuzzBitVec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{7, 0, 1, 2, 3})
+	f.Add([]byte{63, 0xff, 0x80, 0x41, 0x07, 0x00})
+	f.Add([]byte{128, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := 1 + int(data[0])%130 // cross word boundaries (>64, >128 bits)
+		v := New(n)
+		model := make([]bool, n)
+		for pc := 1; pc+1 < len(data); pc += 2 {
+			op, arg := data[pc], data[pc+1]
+			i := int(arg) % n
+			switch op % 4 {
+			case 0:
+				v.Set(i, true)
+				model[i] = true
+			case 1:
+				v.Set(i, false)
+				model[i] = false
+			case 2:
+				v.Flip(i)
+				model[i] = !model[i]
+			case 3:
+				// Uint/SetUint round-trip over a window starting at i.
+				width := 1 + int(op/4)%16
+				if i+width > n {
+					width = n - i
+				}
+				if width == 0 {
+					continue
+				}
+				got := v.Uint(i, width)
+				v.SetUint(i, width, got)
+				for b := 0; b < width; b++ {
+					if wantBit := model[i+b]; wantBit != (got&(1<<uint(b)) != 0) {
+						t.Fatalf("Uint(%d,%d) bit %d = %v, model says %v", i, width, b, !wantBit, wantBit)
+					}
+				}
+			}
+		}
+		ones := 0
+		for i, want := range model {
+			if v.Get(i) != want {
+				t.Fatalf("bit %d = %v after program, model says %v", i, v.Get(i), want)
+			}
+			if want {
+				ones++
+			}
+		}
+		if v.OnesCount() != ones {
+			t.Fatalf("OnesCount = %d, model says %d", v.OnesCount(), ones)
+		}
+		if v.Any() != (ones > 0) {
+			t.Fatalf("Any = %v with %d ones", v.Any(), ones)
+		}
+		if len(v.String()) != n {
+			t.Fatalf("String length %d, want %d", len(v.String()), n)
+		}
+		clone := v.Clone()
+		if !clone.Equal(v) {
+			t.Fatal("clone not equal to original")
+		}
+		if n > 0 {
+			clone.Flip(0)
+			if clone.Equal(v) {
+				t.Fatal("clone still equal after flip")
+			}
+			clone.CopyFrom(v)
+			if !clone.Equal(v) {
+				t.Fatal("CopyFrom did not restore equality")
+			}
+		}
+		v.Clear()
+		if v.Any() {
+			t.Fatal("Any true after Clear")
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/qubo"
 )
 
 func TestQAMKPSolvesExample(t *testing.T) {
@@ -60,6 +61,24 @@ func TestQAMKPEmbedded(t *testing.T) {
 	}
 	if !res.Valid {
 		t.Errorf("embedded QAMKP returned invalid set %v", res.Set)
+	}
+}
+
+// TestQAMKPModelValidates pins the Level-2 QUBO linter into the qaMKP
+// path: the encoding QAMKP anneals on (same graph, k and default R) must
+// pass qubo.ValidateModel — FormulateMKP also runs it as a self-check on
+// every QAMKP call.
+func TestQAMKPModelValidates(t *testing.T) {
+	g := graph.Example6()
+	enc, err := qubo.FormulateMKP(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qubo.ValidateModel(enc); err != nil {
+		t.Errorf("qaMKP encoding rejected by ValidateModel: %v", err)
+	}
+	if _, err := QAMKP(g, 2, &AnnealOptions{Shots: 10, DeltaT: 5, Seed: 3}); err != nil {
+		t.Errorf("QAMKP with validated encoding failed: %v", err)
 	}
 }
 

@@ -24,6 +24,7 @@ package oracle
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/bitvec"
 	"repro/internal/graph"
@@ -61,7 +62,23 @@ type Options struct {
 	// (Fig. 7 full adders, fresh ancillas per addition) with ancilla-free
 	// multi-controlled increments — the ablation of DESIGN.md §5.
 	CompactCounting bool
+
+	// Strict makes Build verify the auxiliary-qubit reset contract on a
+	// sample of basis states before returning: U_check, oracle flip and
+	// U_check† are executed end to end and every ancilla must come back
+	// to |0> with the vertex register intact (the paper's "U† employs the
+	// same gates as U" reset requirement). Costs a few dozen full oracle
+	// evaluations at build time.
+	Strict bool
+
+	// StrictSamples bounds the number of sampled basis states in strict
+	// mode (0 means the default of strictSampleBudget).
+	StrictSamples int
 }
+
+// strictSampleBudget is the default number of basis states strict mode
+// exercises beyond the always-checked corners.
+const strictSampleBudget = 24
 
 // Build compiles the oracle for graph g (the original graph; the
 // complement is formed internally, following the paper's reduction of
@@ -166,7 +183,56 @@ func BuildOpts(g *graph.Graph, k, T int, opts Options) (*Oracle, error) {
 	c.AppendInverse(0, o.fwdEnd)
 
 	o.scratch = bitvec.New(c.NumQubits())
+
+	// Structural lint: every stage of U_check must stay X-family
+	// (classically reversible) for the hybrid simulation to be exact, and
+	// the per-block accounting the complexity tables are built from must
+	// balance. This is cheap (one pass over the gate list), so it guards
+	// every construction, not just tests.
+	lintOpts := qsim.LintOptions{ReversibleBlocks: []string{
+		BlockEncoding, BlockDegreeCount, BlockDegreeCompare, BlockSizeCheck,
+	}}
+	if issues := qsim.LintCircuit(c, lintOpts); len(issues) > 0 {
+		return nil, fmt.Errorf("oracle: compiled circuit fails lint: %v", issues[0])
+	}
+	if opts.Strict {
+		samples := opts.StrictSamples
+		if samples <= 0 {
+			samples = strictSampleBudget
+		}
+		if err := o.VerifyResetContract(samples); err != nil {
+			return nil, err
+		}
+	}
 	return o, nil
+}
+
+// VerifyResetContract executes the full oracle (U_check, flip, U_check†)
+// on a deterministic sample of basis states — the all-zeros and all-ones
+// corners, every single-vertex state, and up to extra further
+// pseudorandom masks — and verifies the paper's reset contract on each:
+// ancillae back to |0>, vertex register unchanged, output qubit agreeing
+// with the fast-path predicate.
+func (o *Oracle) VerifyResetContract(extra int) error {
+	all := uint64(1)<<uint(o.N) - 1
+	masks := []uint64{0, all}
+	for i := 0; i < o.N; i++ {
+		masks = append(masks, uint64(1)<<uint(i))
+	}
+	rng := rand.New(rand.NewSource(1)) // deterministic: same sample every build
+	for i := 0; i < extra; i++ {
+		masks = append(masks, rng.Uint64()&all)
+	}
+	for _, mask := range masks {
+		strict, _, err := o.MarkedStrict(mask)
+		if err != nil {
+			return fmt.Errorf("oracle: reset contract violated on |%0*b>: %w", o.N, mask, err)
+		}
+		if fast := o.Marked(mask); fast != strict {
+			return fmt.Errorf("oracle: fast path disagrees with strict path on |%0*b>: %v vs %v", o.N, mask, fast, strict)
+		}
+	}
+	return nil
 }
 
 // Circuit exposes the compiled circuit (U_check, oracle flip, U_check†).

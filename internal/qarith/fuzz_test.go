@@ -1,0 +1,97 @@
+package qarith
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/qsim"
+)
+
+// readReg reads a register's wires (LSB first) from an executed state.
+func readReg(st *bitvec.Vector, reg []int) uint64 {
+	var v uint64
+	for i, q := range reg {
+		if st.Get(q) {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// clampWidth folds an arbitrary fuzz byte into a register width small
+// enough to keep the circuit cheap but wide enough to exercise carries.
+func clampWidth(w uint8) int {
+	return 1 + int(w)%8
+}
+
+// FuzzRippleCarryAdder cross-checks the Fig. 8 reversible adder against
+// math/bits integer arithmetic for arbitrary operands and widths.
+func FuzzRippleCarryAdder(f *testing.F) {
+	f.Add(uint16(0), uint16(0), uint8(0))
+	f.Add(uint16(1), uint16(1), uint8(0))
+	f.Add(uint16(5), uint16(3), uint8(2))
+	f.Add(uint16(255), uint16(255), uint8(7))
+	f.Add(uint16(170), uint16(85), uint8(7))
+	f.Fuzz(func(t *testing.T, x, y uint16, w uint8) {
+		width := clampWidth(w)
+		xa := uint64(x) & (1<<uint(width) - 1)
+		ya := uint64(y) & (1<<uint(width) - 1)
+
+		c := qsim.NewCircuit()
+		xreg := LoadConst(c, "x", int(xa), width)
+		yreg := LoadConst(c, "y", int(ya), width)
+		sum := Add(c, xreg, yreg)
+		if len(sum) != width+1 {
+			t.Fatalf("Add returned %d sum wires, want %d", len(sum), width+1)
+		}
+		st := bitvec.New(c.NumQubits())
+		c.RunReversible(st)
+
+		want, carry := bits.Add64(xa, ya, 0)
+		if carry != 0 {
+			t.Fatalf("bits.Add64 overflowed uint64 on %d+%d", xa, ya)
+		}
+		if got := readReg(st, sum); got != want {
+			t.Errorf("adder: %d+%d = %d, circuit computed %d (width %d)", xa, ya, want, got, width)
+		}
+		if issues := qsim.LintCircuit(c, qsim.LintOptions{}); len(issues) != 0 {
+			t.Errorf("adder circuit fails lint: %v", issues[0])
+		}
+	})
+}
+
+// FuzzComparator cross-checks the Fig. 10 / Eq. (comp) comparator: the
+// x ≤ y wire must agree with a borrow-free bits.Sub64 of y-x.
+func FuzzComparator(f *testing.F) {
+	f.Add(uint16(0), uint16(0), uint8(0))
+	f.Add(uint16(2), uint16(1), uint8(1))
+	f.Add(uint16(1), uint16(2), uint8(1))
+	f.Add(uint16(200), uint16(200), uint8(7))
+	f.Add(uint16(128), uint16(127), uint8(7))
+	f.Fuzz(func(t *testing.T, x, y uint16, w uint8) {
+		width := clampWidth(w)
+		xa := uint64(x) & (1<<uint(width) - 1)
+		ya := uint64(y) & (1<<uint(width) - 1)
+
+		c := qsim.NewCircuit()
+		xreg := LoadConst(c, "x", int(xa), width)
+		yreg := LoadConst(c, "y", int(ya), width)
+		le := LessOrEqual(c, xreg, yreg)
+		ge := GreaterOrEqual(c, xreg, yreg)
+		st := bitvec.New(c.NumQubits())
+		c.RunReversible(st)
+
+		// x ≤ y ⇔ y - x needs no borrow.
+		_, borrow := bits.Sub64(ya, xa, 0)
+		wantLE := borrow == 0
+		if got := st.Get(le); got != wantLE {
+			t.Errorf("comparator: %d ≤ %d should be %v, circuit says %v (width %d)", xa, ya, wantLE, got, width)
+		}
+		_, borrowGE := bits.Sub64(xa, ya, 0)
+		wantGE := borrowGE == 0
+		if got := st.Get(ge); got != wantGE {
+			t.Errorf("comparator: %d ≥ %d should be %v, circuit says %v (width %d)", xa, ya, wantGE, got, width)
+		}
+	})
+}

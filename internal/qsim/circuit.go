@@ -80,6 +80,7 @@ type Circuit struct {
 	gates  []Gate
 	labels []string // one per qubit
 	block  string
+	counts map[string]int // running per-block accounting, see GateCounts
 }
 
 // NewCircuit returns an empty circuit.
@@ -134,6 +135,19 @@ func (c *Circuit) emit(kind Kind, target int, controls []Control) {
 		}
 	}
 	c.gates = append(c.gates, Gate{Kind: kind, Target: target, Controls: controls, Block: c.block})
+	c.countGate(c.block)
+}
+
+// countGate records one emitted gate in the running per-block accounting.
+// The books are kept separately from the gate list on purpose: LintCircuit
+// recounts the list and cross-checks it against this ledger, so any future
+// code path that appends gates without accounting (or vice versa) is
+// caught mechanically.
+func (c *Circuit) countGate(block string) {
+	if c.counts == nil {
+		c.counts = make(map[string]int)
+	}
+	c.counts[block]++
 }
 
 // X appends a NOT gate on qubit t.
@@ -176,17 +190,20 @@ func (c *Circuit) AppendInverse(from, to int) {
 	for i := to - 1; i >= from; i-- {
 		g := c.gates[i]
 		c.gates = append(c.gates, g)
+		c.countGate(g.Block)
 	}
 }
 
 // Len returns the number of gates.
 func (c *Circuit) Len() int { return len(c.gates) }
 
-// GateCounts returns the number of gates per block label.
+// GateCounts returns the number of gates per block label, from the
+// running ledger maintained at emission time (LintCircuit verifies the
+// ledger against a recount of the gate list).
 func (c *Circuit) GateCounts() map[string]int {
-	counts := make(map[string]int)
-	for _, g := range c.gates {
-		counts[g.Block]++
+	counts := make(map[string]int, len(c.counts))
+	for block, n := range c.counts {
+		counts[block] = n
 	}
 	return counts
 }

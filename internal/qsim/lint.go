@@ -1,0 +1,97 @@
+package qsim
+
+import "fmt"
+
+// This file is the circuit-level half of the repo's Level-2 static
+// analysis (see internal/analysis for the Go-source half): it treats a
+// compiled Circuit as the program under analysis and checks the
+// structural invariants the paper's constructions rely on but nothing
+// in the type system enforces.
+
+// LintIssue is one structural violation found in a circuit.
+type LintIssue struct {
+	Gate int // offending gate index, or -1 for a circuit-level issue
+	Msg  string
+}
+
+func (i LintIssue) String() string {
+	if i.Gate < 0 {
+		return i.Msg
+	}
+	return fmt.Sprintf("gate %d: %s", i.Gate, i.Msg)
+}
+
+// LintOptions configures LintCircuit.
+type LintOptions struct {
+	// ReversibleBlocks lists block labels that must contain only
+	// X-family gates. The oracle declares all four of its stages here:
+	// U_check must stay classically reversible for the hybrid simulator's
+	// phase-oracle substitution (DESIGN.md) to be exact.
+	ReversibleBlocks []string
+}
+
+// LintCircuit checks the structural invariants of a compiled circuit:
+//
+//   - every gate's target and controls address allocated qubits;
+//   - no control coincides with its target and no control is repeated
+//     (a duplicated dot in a figure transcription would silently change
+//     the firing condition);
+//   - every gate kind is one of the known families;
+//   - blocks declared reversible contain only X-family gates;
+//   - the per-block accounting ledger (GateCounts) matches an
+//     independent recount of the gate list, and sums to Len().
+//
+// It returns nil when the circuit is clean.
+func LintCircuit(c *Circuit, opts LintOptions) []LintIssue {
+	var issues []LintIssue
+	reversible := make(map[string]bool, len(opts.ReversibleBlocks))
+	for _, b := range opts.ReversibleBlocks {
+		reversible[b] = true
+	}
+	n := c.NumQubits()
+	recount := make(map[string]int)
+	for i, g := range c.gates {
+		recount[g.Block]++
+		if g.Kind != KindX && g.Kind != KindH && g.Kind != KindZ {
+			issues = append(issues, LintIssue{Gate: i, Msg: fmt.Sprintf("unknown gate kind %v", g.Kind)})
+		}
+		if g.Target < 0 || g.Target >= n {
+			issues = append(issues, LintIssue{Gate: i, Msg: fmt.Sprintf("target %d outside register [0,%d)", g.Target, n)})
+		}
+		seen := make(map[int]bool, len(g.Controls))
+		for _, ctl := range g.Controls {
+			if ctl.Qubit < 0 || ctl.Qubit >= n {
+				issues = append(issues, LintIssue{Gate: i, Msg: fmt.Sprintf("control %d outside register [0,%d)", ctl.Qubit, n)})
+				continue
+			}
+			if ctl.Qubit == g.Target {
+				issues = append(issues, LintIssue{Gate: i, Msg: fmt.Sprintf("control overlaps target %d", g.Target)})
+			}
+			if seen[ctl.Qubit] {
+				issues = append(issues, LintIssue{Gate: i, Msg: fmt.Sprintf("duplicate control on qubit %d", ctl.Qubit)})
+			}
+			seen[ctl.Qubit] = true
+		}
+		if reversible[g.Block] && g.Kind != KindX {
+			issues = append(issues, LintIssue{Gate: i, Msg: fmt.Sprintf("non-reversible %s gate in reversible block %q", g.Kind, g.Block)})
+		}
+	}
+	// Double-entry accounting: ledger vs recount, and recount vs total.
+	ledger := c.GateCounts()
+	total := 0
+	for block, got := range ledger {
+		total += got
+		if want := recount[block]; got != want {
+			issues = append(issues, LintIssue{Gate: -1, Msg: fmt.Sprintf("block %q ledger records %d gates, gate list has %d", block, got, want)})
+		}
+	}
+	for block, want := range recount {
+		if _, ok := ledger[block]; !ok {
+			issues = append(issues, LintIssue{Gate: -1, Msg: fmt.Sprintf("block %q has %d gates but no ledger entry", block, want)})
+		}
+	}
+	if total != c.Len() {
+		issues = append(issues, LintIssue{Gate: -1, Msg: fmt.Sprintf("ledger total %d != circuit length %d", total, c.Len())})
+	}
+	return issues
+}

@@ -28,6 +28,7 @@ type MKPEncoding struct {
 
 	slackStart []int // first slack variable of vertex i (-1 if none)
 	slackWidth []int
+	bigM       []int // M_i = d̄(v_i)-k+1 per penalized vertex (0 if none)
 }
 
 // FormulateMKP builds the QUBO for graph g with parameters k and penalty
@@ -53,6 +54,7 @@ func FormulateMKP(g *graph.Graph, k int, r float64) (*MKPEncoding, error) {
 		R:          r,
 		slackStart: make([]int, n),
 		slackWidth: make([]int, n),
+		bigM:       make([]int, n),
 	}
 	m := e.Model
 
@@ -75,6 +77,7 @@ func FormulateMKP(g *graph.Graph, k int, r float64) (*MKPEncoding, error) {
 		width := bitsFor(maxSlack)
 		e.slackStart[i] = m.N()
 		e.slackWidth[i] = width
+		e.bigM[i] = db - k + 1
 		for r0 := 0; r0 < width; r0++ {
 			m.AddVar(fmt.Sprintf("s%d_%d", i+1, r0))
 		}
@@ -86,7 +89,7 @@ func FormulateMKP(g *graph.Graph, k int, r float64) (*MKPEncoding, error) {
 		if e.slackStart[i] < 0 {
 			continue
 		}
-		mi := float64(e.Comp.Degree(i) - k + 1)
+		mi := float64(e.bigM[i])
 		ci := -float64(k-1) - mi
 
 		// Linear expression: list of (variable, coefficient).
@@ -112,6 +115,11 @@ func FormulateMKP(g *graph.Graph, k int, r float64) (*MKPEncoding, error) {
 			}
 		}
 	}
+	// Self-check: the encoding must satisfy its own paper invariants
+	// (Section IV's M_i, L_i and R rules) before anyone anneals on it.
+	if err := ValidateModel(e); err != nil {
+		return nil, fmt.Errorf("qubo: formulation self-check failed: %w", err)
+	}
 	return e, nil
 }
 
@@ -135,6 +143,10 @@ func (e *MKPEncoding) NumSlackVars() int { return e.Model.N() - e.N }
 // SlackWidth returns the slack register width of vertex i (0 if the
 // vertex needs no penalty).
 func (e *MKPEncoding) SlackWidth(i int) int { return e.slackWidth[i] }
+
+// BigM returns the per-vertex penalty constant M_i = d̄(v_i)-k+1 (0 for
+// vertices that need no penalty).
+func (e *MKPEncoding) BigM(i int) int { return e.bigM[i] }
 
 // Decode extracts the selected vertex set from an assignment.
 func (e *MKPEncoding) Decode(x []bool) []int {

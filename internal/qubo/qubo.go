@@ -67,7 +67,10 @@ func (m *Model) AddQuad(i, j int, v float64) {
 	}
 	key := [2]int{i, j}
 	m.quad[key] += v
-	if m.quad[key] == 0 {
+	// Exact-cancellation check: the map must stay duplicate- and zero-free
+	// (Model.Validate relies on it), and only bit-identical cancellation
+	// should delete an interaction.
+	if m.quad[key] == 0 { //lint:allow floatcmp exact cancellation keeps the quad map zero-free
 		delete(m.quad, key)
 	}
 }

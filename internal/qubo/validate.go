@@ -1,0 +1,112 @@
+package qubo
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the QUBO half of the repo's Level-2 static analysis: it
+// treats a formulated model as the program under analysis and checks the
+// paper's Section IV invariants mechanically. FormulateMKP runs
+// ValidateModel as a self-check, so every test or experiment that builds
+// an encoding exercises these checks; cmd/repro-lint covers the Go
+// source, this covers the math.
+
+// Validate checks the structural invariants every Model must hold
+// regardless of what it encodes: consistent variable bookkeeping, finite
+// coefficients, and a normalized quadratic map — upper-triangular
+// (i < j), off-diagonal, and free of zero entries, which is what makes
+// NumInteractions and Interactions trustworthy and keeps ToIsing /
+// Compile from double-counting a pair stored both ways.
+func (m *Model) Validate() error {
+	if len(m.names) != m.n || len(m.linear) != m.n {
+		return fmt.Errorf("qubo: validate: bookkeeping out of sync: %d variables, %d names, %d linear coefficients",
+			m.n, len(m.names), len(m.linear))
+	}
+	if math.IsNaN(m.Offset) || math.IsInf(m.Offset, 0) {
+		return fmt.Errorf("qubo: validate: non-finite offset %v", m.Offset)
+	}
+	for i, v := range m.linear {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("qubo: validate: non-finite linear coefficient %v on variable %d", v, i)
+		}
+	}
+	for k, v := range m.quad {
+		i, j := k[0], k[1]
+		switch {
+		case i < 0 || j >= m.n:
+			return fmt.Errorf("qubo: validate: quad term (%d,%d) out of range [0,%d)", i, j, m.n)
+		case i == j:
+			return fmt.Errorf("qubo: validate: diagonal quad term (%d,%d); x² folds into the linear part", i, j)
+		case i > j:
+			return fmt.Errorf("qubo: validate: quad term (%d,%d) not upper-triangular; the map must be normalized to i<j", i, j)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("qubo: validate: non-finite quad coefficient %v on (%d,%d)", v, i, j)
+		}
+		if v == 0 { //lint:allow floatcmp AddQuad deletes exact zeros; a stored zero means the map was corrupted
+			return fmt.Errorf("qubo: validate: zero quad coefficient stored for (%d,%d); the map must stay zero-free", i, j)
+		}
+	}
+	return nil
+}
+
+// ValidateModel checks a formulated MKP encoding against the paper's
+// Section IV rules (with the repo's two documented typo fixes, see
+// DESIGN.md):
+//
+//   - the penalty weight satisfies R > 1 (Section IV-B3's correctness
+//     condition);
+//   - every vertex with complement degree d̄ > k-1 carries
+//     M_i = d̄(v_i) - k + 1 and a slack register of exactly
+//     L_i = ⌈log₂(max(d̄(v_i), k-1)+1)⌉ bits;
+//   - vertices with d̄ ≤ k-1 carry no penalty machinery at all;
+//   - slack registers tile the variable range [n, Model.N()) exactly;
+//   - the underlying Model passes Validate.
+func ValidateModel(e *MKPEncoding) error {
+	if e == nil || e.Model == nil || e.G == nil || e.Comp == nil {
+		return fmt.Errorf("qubo: validate: incomplete encoding")
+	}
+	if e.R <= 1 {
+		return fmt.Errorf("qubo: validate: penalty R=%v must exceed 1", e.R)
+	}
+	if e.N != e.G.N() || e.N != e.Comp.N() {
+		return fmt.Errorf("qubo: validate: encoding says n=%d but graph has %d and complement %d vertices",
+			e.N, e.G.N(), e.Comp.N())
+	}
+	if len(e.slackStart) != e.N || len(e.slackWidth) != e.N || len(e.bigM) != e.N {
+		return fmt.Errorf("qubo: validate: per-vertex tables have lengths %d/%d/%d, want %d",
+			len(e.slackStart), len(e.slackWidth), len(e.bigM), e.N)
+	}
+	cursor := e.N // slack registers start right after the vertex variables
+	for i := 0; i < e.N; i++ {
+		db := e.Comp.Degree(i)
+		if db <= e.K-1 {
+			if e.slackStart[i] != -1 || e.slackWidth[i] != 0 {
+				return fmt.Errorf("qubo: validate: vertex %d has d̄=%d ≤ k-1=%d but carries a slack register", i, db, e.K-1)
+			}
+			continue
+		}
+		if e.slackStart[i] < 0 {
+			return fmt.Errorf("qubo: validate: vertex %d has d̄=%d > k-1=%d but no slack register", i, db, e.K-1)
+		}
+		if e.slackStart[i] != cursor {
+			return fmt.Errorf("qubo: validate: vertex %d slack register starts at %d, want %d (registers must tile)", i, e.slackStart[i], cursor)
+		}
+		maxSlack := db
+		if e.K-1 > maxSlack {
+			maxSlack = e.K - 1
+		}
+		if want := bitsFor(maxSlack); e.slackWidth[i] != want {
+			return fmt.Errorf("qubo: validate: vertex %d slack width %d, want L_i=⌈log₂(max(d̄,k-1)+1)⌉=%d", i, e.slackWidth[i], want)
+		}
+		if want := db - e.K + 1; e.bigM[i] != want {
+			return fmt.Errorf("qubo: validate: vertex %d big-M is %d, want d̄-k+1=%d", i, e.bigM[i], want)
+		}
+		cursor += e.slackWidth[i]
+	}
+	if cursor != e.Model.N() {
+		return fmt.Errorf("qubo: validate: slack registers end at %d but model has %d variables", cursor, e.Model.N())
+	}
+	return e.Model.Validate()
+}

@@ -1,0 +1,151 @@
+package qubo
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// formulateForValidation builds a healthy encoding with both penalized
+// and penalty-free vertices.
+func formulateForValidation(t *testing.T) *MKPEncoding {
+	t.Helper()
+	g := graph.Gnm(8, 10, 7)
+	e, err := FormulateMKP(g, 2, 2)
+	if err != nil {
+		t.Fatalf("FormulateMKP: %v", err)
+	}
+	penalized := false
+	for i := 0; i < e.N; i++ {
+		if e.SlackWidth(i) > 0 {
+			penalized = true
+		}
+	}
+	if !penalized {
+		t.Fatal("fixture graph produced no penalized vertices")
+	}
+	return e
+}
+
+func TestValidateModelAcceptsHealthyEncoding(t *testing.T) {
+	e := formulateForValidation(t)
+	if err := ValidateModel(e); err != nil {
+		t.Fatalf("healthy encoding rejected: %v", err)
+	}
+}
+
+// penalizedVertex returns some vertex carrying a slack register.
+func penalizedVertex(e *MKPEncoding) int {
+	for i := 0; i < e.N; i++ {
+		if e.slackStart[i] >= 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestValidateModelRejectsCorruption corrupts one healthy encoding per
+// row and checks each corruption is rejected with its own distinct
+// message.
+func TestValidateModelRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(e *MKPEncoding)
+		want    string // distinct error fragment
+	}{
+		{
+			name:    "penalty R at most 1",
+			corrupt: func(e *MKPEncoding) { e.R = 1 },
+			want:    "penalty R=1 must exceed 1",
+		},
+		{
+			name:    "wrong big-M",
+			corrupt: func(e *MKPEncoding) { e.bigM[penalizedVertex(e)]++ },
+			want:    "big-M",
+		},
+		{
+			name:    "truncated slack width",
+			corrupt: func(e *MKPEncoding) { e.slackWidth[penalizedVertex(e)]-- },
+			want:    "slack width",
+		},
+		{
+			name: "missing slack register",
+			corrupt: func(e *MKPEncoding) {
+				v := penalizedVertex(e)
+				e.slackStart[v] = -1
+				e.slackWidth[v] = 0
+			},
+			want: "no slack register",
+		},
+		{
+			name: "asymmetric quadratic map",
+			corrupt: func(e *MKPEncoding) {
+				// Store a pair the wrong way round, as a buggy by-hand
+				// construction would.
+				e.Model.quad[[2]int{3, 1}] = 0.5
+			},
+			want: "not upper-triangular",
+		},
+		{
+			name:    "diagonal quadratic term",
+			corrupt: func(e *MKPEncoding) { e.Model.quad[[2]int{2, 2}] = 1 },
+			want:    "diagonal quad term",
+		},
+		{
+			name:    "stored zero coefficient",
+			corrupt: func(e *MKPEncoding) { e.Model.quad[[2]int{0, 1}] = 0 },
+			want:    "zero quad coefficient",
+		},
+		{
+			name:    "quad variable out of range",
+			corrupt: func(e *MKPEncoding) { e.Model.quad[[2]int{4, e.Model.N()}] = 1 },
+			want:    "out of range",
+		},
+		{
+			name:    "non-finite linear coefficient",
+			corrupt: func(e *MKPEncoding) { e.Model.linear[0] = math.NaN() },
+			want:    "non-finite linear coefficient",
+		},
+		{
+			name:    "linear bookkeeping out of sync",
+			corrupt: func(e *MKPEncoding) { e.Model.linear = e.Model.linear[:len(e.Model.linear)-1] },
+			want:    "bookkeeping out of sync",
+		},
+	}
+	seen := make(map[string]string)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := formulateForValidation(t)
+			tc.corrupt(e)
+			err := ValidateModel(e)
+			if err == nil {
+				t.Fatalf("corruption %q accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("corruption %q rejected with %q, want fragment %q", tc.name, err, tc.want)
+			}
+			if prev, dup := seen[tc.want]; dup {
+				t.Fatalf("error fragment %q is not distinct (also used by %q)", tc.want, prev)
+			}
+			seen[tc.want] = tc.name
+		})
+	}
+}
+
+func TestFormulateMKPSelfCheck(t *testing.T) {
+	// The formulation runs ValidateModel before returning; a healthy
+	// build must therefore imply a valid encoding, including its big-M
+	// table matching the paper's M_i = d̄(v_i)-k+1.
+	e := formulateForValidation(t)
+	for i := 0; i < e.N; i++ {
+		if e.SlackWidth(i) == 0 {
+			continue
+		}
+		want := e.Comp.Degree(i) - e.K + 1
+		if e.BigM(i) != want {
+			t.Errorf("vertex %d: BigM=%d, want %d", i, e.BigM(i), want)
+		}
+	}
+}
