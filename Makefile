@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt-check vet lint test race fuzz-smoke ci
+.PHONY: build fmt-check vet lint test race bench-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# One iteration of every benchmark: catches benchmarks that panic or
+# fatal without paying for stable timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
 # Short randomized runs of the native fuzz targets (the checked-in seed
 # corpora always run as part of `make test`).
 fuzz-smoke:
@@ -37,4 +42,4 @@ fuzz-smoke:
 	$(GO) test ./internal/qarith/ -fuzz FuzzComparator -fuzztime 5s
 	$(GO) test ./internal/bitvec/ -fuzz FuzzBitVec -fuzztime 5s
 
-ci: build fmt-check vet lint test race
+ci: build fmt-check vet lint test race bench-smoke

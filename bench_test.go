@@ -15,8 +15,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/graph"
+	"repro/internal/grover"
 	"repro/internal/kplex"
 	"repro/internal/oracle"
+	"repro/internal/parallel"
+	"repro/internal/qsim"
 	"repro/internal/qubo"
 )
 
@@ -208,6 +211,101 @@ func benchSampler(b *testing.B, run func(*qubo.Model) error) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Parallel-vs-serial ablations (DESIGN.md §5) ---
+//
+// Each pair runs the identical workload with the worker pool pinned to one
+// worker versus the machine default; outputs are bit-identical either way
+// (the internal/parallel contract), so the pairs isolate pure wall-clock
+// effect of the fan-out.
+
+func pinWorkers(b *testing.B, n int) {
+	b.Helper()
+	prev := parallel.SetWorkers(n)
+	b.Cleanup(func() { parallel.SetWorkers(prev) })
+}
+
+func benchTruthTable(b *testing.B) {
+	g, err := graph.PaperDataset("G_{10,23}")
+	if err != nil {
+		b.Fatal(err)
+	}
+	orc, err := oracle.Build(g.Build(), 2, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		orc.TruthTable()
+	}
+}
+
+func BenchmarkAblationSerialTruthTable(b *testing.B) {
+	pinWorkers(b, 1)
+	benchTruthTable(b)
+}
+
+func BenchmarkAblationParallelTruthTable(b *testing.B) {
+	pinWorkers(b, 0)
+	benchTruthTable(b)
+}
+
+func benchGroverIteration(b *testing.B) {
+	s := qsim.NewStatevector(16)
+	s.EqualSuperposition()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ApplyPhaseOracle(func(m uint64) bool { return m%97 == 0 })
+		s.ApplyDiffusion()
+	}
+}
+
+func BenchmarkAblationSerialGroverIteration(b *testing.B) {
+	pinWorkers(b, 1)
+	benchGroverIteration(b)
+}
+
+func BenchmarkAblationParallelGroverIteration(b *testing.B) {
+	pinWorkers(b, 0)
+	benchGroverIteration(b)
+}
+
+func benchSAShots(b *testing.B) {
+	benchSampler(b, func(m *qubo.Model) error {
+		_, err := anneal.SA(m, anneal.Params{Shots: 100, Sweeps: 10, Seed: 1})
+		return err
+	})
+}
+
+func BenchmarkAblationSerialSAShots(b *testing.B) {
+	pinWorkers(b, 1)
+	benchSAShots(b)
+}
+
+func BenchmarkAblationParallelSAShots(b *testing.B) {
+	pinWorkers(b, 0)
+	benchSAShots(b)
+}
+
+func benchCounting(b *testing.B) {
+	pred := func(m uint64) bool { return m%5 == 0 }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := grover.CountMarked(10, 7, pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSerialCounting(b *testing.B) {
+	pinWorkers(b, 1)
+	benchCounting(b)
+}
+
+func BenchmarkAblationParallelCounting(b *testing.B) {
+	pinWorkers(b, 0)
+	benchCounting(b)
 }
 
 // Grover search cost growth: the O*(2^{n/2}) oracle-call scaling.

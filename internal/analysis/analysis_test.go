@@ -105,7 +105,7 @@ func TestPanicMsg(t *testing.T) {
 }
 
 func TestSeededRand(t *testing.T) {
-	checkFixture(t, SeededRand{}, "fixture/seedfix")
+	checkFixture(t, SeededRand{}, "fixture/seedfix", "fixture/parfix")
 }
 
 func TestFloatCmp(t *testing.T) {

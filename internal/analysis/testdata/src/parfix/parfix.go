@@ -1,0 +1,39 @@
+// Package parfix is a seededrand fixture for worker-pool code: goroutine
+// bodies that derive a per-worker generator from an injected seed are
+// fine; reaching for the global source inside a worker is flagged like
+// anywhere else (and is doubly wrong there — the global source serializes
+// workers on a mutex AND breaks seeded reproducibility).
+package parfix
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// FanOutSeeded is the sanctioned shape: every worker owns a generator
+// seeded from the injected seed and its worker index.
+func FanOutSeeded(seed int64, workers int, out []float64) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			out[w] = rng.Float64()
+		}(w)
+	}
+	wg.Wait()
+}
+
+// FanOutGlobal leaks the process-global source into a worker.
+func FanOutGlobal(workers int, out []float64) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out[w] = rand.Float64() // want "global math/rand call rand.Float64"
+		}(w)
+	}
+	wg.Wait()
+}

@@ -20,6 +20,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/parallel"
 	"repro/internal/qubo"
 )
 
@@ -42,6 +43,9 @@ type Params struct {
 	// every Trotter slice) with its energy — the hook callers use to
 	// track problem-specific quality (e.g. "best valid k-plex seen"),
 	// which need not coincide with the best energy (Section IV-C).
+	// Shots anneal on parallel workers, but the hook is always invoked
+	// serially, in shot order (slice order within a shot), from the
+	// caller's goroutine, so it needs no synchronization.
 	OnSample func(x []bool, energy float64)
 }
 
@@ -109,45 +113,98 @@ func randomAssignment(rng *rand.Rand, n int) []bool {
 	return x
 }
 
+// shotSeed derives the RNG seed of one shot from the sampler seed via a
+// splitmix64-style mix, so every shot owns an independent, reproducible
+// stream regardless of which worker runs it or in what order.
+func shotSeed(seed int64, shot int) int64 {
+	z := uint64(seed) + uint64(shot+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// shotOutcome is what one independent anneal hands back for the ordered
+// merge: its best sample and, when the OnSample hook is set, every
+// end-of-shot readout in evaluation order.
+type shotOutcome struct {
+	best     Sample
+	readouts []Sample
+}
+
+// mergeShots folds per-shot outcomes into a Result in shot order: the
+// OnSample hook fires serially, ties between equal energies resolve to
+// the earliest shot (exactly as in a serial run), and BestAfterShot[i]
+// covers shots 0..i.
+func mergeShots(shots []shotOutcome, p Params) Result {
+	var res Result
+	for _, s := range shots {
+		if p.OnSample != nil {
+			for _, r := range s.readouts {
+				p.OnSample(r.X, r.Energy)
+			}
+		}
+		res.record(s.best.X, s.best.Energy)
+		res.closeShot()
+	}
+	return res
+}
+
 // SA runs classical simulated annealing: per shot, a random start followed
 // by Sweeps passes of single-flip Metropolis moves under a geometric
-// inverse-temperature ramp BetaMin → BetaMax.
+// inverse-temperature ramp BetaMin → BetaMax. Shots are independent
+// anneals with seeds derived from Params.Seed and the shot index, so they
+// run on parallel workers; results are bit-identical at any worker count.
 func SA(m *qubo.Model, p Params) (Result, error) {
 	if m.N() == 0 {
 		return Result{}, fmt.Errorf("anneal: empty model")
 	}
 	p = p.withDefaults()
 	c := m.Compile()
-	rng := rand.New(rand.NewSource(p.Seed))
-	var res Result
+	shots := make([]shotOutcome, p.Shots)
+	parallel.For(p.Shots, 1, func(lo, hi int) {
+		for shot := lo; shot < hi; shot++ {
+			shots[shot] = saShot(c, p, shot)
+		}
+	})
+	return mergeShots(shots, p), nil
+}
+
+// saShot runs one annealing shot on its own RNG stream.
+func saShot(c *qubo.Compiled, p Params, shot int) shotOutcome {
+	rng := rand.New(rand.NewSource(shotSeed(p.Seed, shot)))
 	order := make([]int, c.N)
 	for i := range order {
 		order[i] = i
 	}
-	for shot := 0; shot < p.Shots; shot++ {
-		x := randomAssignment(rng, c.N)
-		energy := c.Energy(x)
-		res.record(x, energy)
-		for sweep := 0; sweep < p.Sweeps; sweep++ {
-			beta := betaAt(p, sweep)
-			rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
-			for _, i := range order {
-				delta := c.FlipDelta(x, i)
-				if delta <= 0 || rng.Float64() < math.Exp(-beta*delta) {
-					x[i] = !x[i]
-					energy += delta
-					if energy < res.Best.Energy {
-						res.record(x, energy)
+	x := randomAssignment(rng, c.N)
+	energy := c.Energy(x)
+	out := shotOutcome{best: Sample{X: append([]bool(nil), x...), Energy: energy}}
+	for sweep := 0; sweep < p.Sweeps; sweep++ {
+		beta := betaAt(p, sweep)
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for _, i := range order {
+			delta := c.FlipDelta(x, i)
+			if delta <= 0 || rng.Float64() < math.Exp(-beta*delta) {
+				x[i] = !x[i]
+				energy += delta
+				if energy < out.best.Energy {
+					// The incremental sum drifts over thousands of
+					// sweeps; reconcile against the exact objective
+					// before recording, so Result.Best.Energy always
+					// equals the true energy of Result.Best.X (the
+					// measure-and-verify loops assume exactness).
+					energy = c.Energy(x)
+					if energy < out.best.Energy {
+						out.best = Sample{X: append([]bool(nil), x...), Energy: energy}
 					}
 				}
 			}
 		}
-		if p.OnSample != nil {
-			p.OnSample(x, energy)
-		}
-		res.closeShot()
 	}
-	return res, nil
+	if p.OnSample != nil {
+		out.readouts = []Sample{{X: append([]bool(nil), x...), Energy: c.Energy(x)}}
+	}
+	return out
 }
 
 // betaAt interpolates the geometric SA schedule. A single-sweep shot runs

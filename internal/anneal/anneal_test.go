@@ -6,8 +6,26 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/qubo"
 )
+
+// driftModel is a QUBO whose coefficients (multiples of 0.1) are not
+// binary-representable, so incremental ±delta accounting accumulates
+// floating-point drift over long schedules.
+func driftModel(n int) *qubo.Model {
+	m := qubo.NewModel()
+	for i := 0; i < n; i++ {
+		m.AddVar("")
+	}
+	for i := 0; i < n; i++ {
+		m.AddLinear(i, 0.1*float64(i%7-3))
+		for j := i + 1; j < n; j++ {
+			m.AddQuad(i, j, 0.1*float64((i*j)%5-2))
+		}
+	}
+	return m
+}
 
 // bruteMin finds the exact QUBO minimum for tiny models.
 func bruteMin(m *qubo.Model) float64 {
@@ -52,7 +70,7 @@ func TestSAFindsOptimumOnExample(t *testing.T) {
 
 func TestSQAFindsOptimumOnExample(t *testing.T) {
 	e, want := smallMKPModel(t)
-	res, err := SQA(e.Model, Params{Shots: 60, Sweeps: 30, Seed: 7})
+	res, err := SQA(e.Model, Params{Shots: 100, Sweeps: 30, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,6 +188,104 @@ func TestEmptyModelRejected(t *testing.T) {
 	}
 	if _, err := Hybrid(qubo.NewModel(), HybridParams{}); err == nil {
 		t.Error("Hybrid accepted empty model")
+	}
+}
+
+func TestSABestEnergyIsExact(t *testing.T) {
+	// Regression: SA tracks the objective incrementally (energy += delta,
+	// thousands of times per shot), and used to record that drifted sum as
+	// Best.Energy. Downstream measure-and-verify loops assume exactness,
+	// so the sampler must reconcile against the true objective on record:
+	// Best.Energy has to equal Energy(Best.X) to the last bit even after a
+	// long schedule.
+	m := driftModel(24)
+	c := m.Compile()
+	res, err := SA(m, Params{Shots: 3, Sweeps: 2000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Best.Energy, c.Energy(res.Best.X); got != want { //lint:allow floatcmp exactness is the contract under test
+		t.Errorf("Best.Energy = %v, but Energy(Best.X) = %v (drift %g)", got, want, got-want)
+	}
+}
+
+func TestSQABestEnergyMatchesModel(t *testing.T) {
+	// Slice-accounting audit: SQA evaluates every Trotter slice from
+	// scratch in the Ising form; the recorded best must agree with the
+	// QUBO objective of the recorded assignment (up to the Ising
+	// re-association, hence the tolerance rather than exact equality).
+	m := driftModel(16)
+	res, err := SQA(m, Params{Shots: 4, Sweeps: 200, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Best.Energy, m.Evaluate(res.Best.X); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Best.Energy = %v, but Evaluate(Best.X) = %v", got, want)
+	}
+}
+
+func TestSamplersDeterministicAcrossWorkers(t *testing.T) {
+	// Shots anneal on parallel workers but merge in shot order: Best, the
+	// per-shot trace and the OnSample sequence must be bit-identical at
+	// any worker count.
+	m := driftModel(12)
+	type trace struct {
+		res     Result
+		samples []Sample
+	}
+	for name, run := range map[string]func(Params) (Result, error){
+		"SA":  func(p Params) (Result, error) { return SA(m, p) },
+		"SQA": func(p Params) (Result, error) { return SQA(m, p) },
+	} {
+		runTrace := func() trace {
+			var tr trace
+			p := Params{Shots: 8, Sweeps: 20, Seed: 3, Trotter: 4,
+				OnSample: func(x []bool, e float64) {
+					tr.samples = append(tr.samples, Sample{X: append([]bool(nil), x...), Energy: e})
+				}}
+			res, err := run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.res = res
+			return tr
+		}
+		prev := parallel.SetWorkers(1)
+		want := runTrace()
+		for _, w := range []int{2, 8} {
+			parallel.SetWorkers(w)
+			got := runTrace()
+			if got.res.Best.Energy != want.res.Best.Energy { //lint:allow floatcmp determinism contract is bit-identical
+				t.Errorf("%s workers=%d: Best.Energy = %v, want %v", name, w, got.res.Best.Energy, want.res.Best.Energy)
+			}
+			if len(got.res.BestAfterShot) != len(want.res.BestAfterShot) {
+				t.Fatalf("%s workers=%d: trace length %d, want %d", name, w, len(got.res.BestAfterShot), len(want.res.BestAfterShot))
+			}
+			for i := range want.res.BestAfterShot {
+				if got.res.BestAfterShot[i] != want.res.BestAfterShot[i] { //lint:allow floatcmp determinism contract is bit-identical
+					t.Fatalf("%s workers=%d: BestAfterShot[%d] = %v, want %v", name, w, i, got.res.BestAfterShot[i], want.res.BestAfterShot[i])
+				}
+			}
+			for i := range want.res.Best.X {
+				if got.res.Best.X[i] != want.res.Best.X[i] {
+					t.Fatalf("%s workers=%d: Best.X differs at %d", name, w, i)
+				}
+			}
+			if len(got.samples) != len(want.samples) {
+				t.Fatalf("%s workers=%d: %d OnSample calls, want %d", name, w, len(got.samples), len(want.samples))
+			}
+			for i := range want.samples {
+				if got.samples[i].Energy != want.samples[i].Energy { //lint:allow floatcmp determinism contract is bit-identical
+					t.Fatalf("%s workers=%d: OnSample[%d].Energy = %v, want %v", name, w, i, got.samples[i].Energy, want.samples[i].Energy)
+				}
+				for j := range want.samples[i].X {
+					if got.samples[i].X[j] != want.samples[i].X[j] {
+						t.Fatalf("%s workers=%d: OnSample[%d].X differs at %d", name, w, i, j)
+					}
+				}
+			}
+		}
+		parallel.SetWorkers(prev)
 	}
 }
 

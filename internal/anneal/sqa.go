@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/qubo"
 )
 
@@ -34,13 +35,14 @@ func SQA(m *qubo.Model, p Params) (Result, error) {
 
 // isingAdj is the flattened neighbour structure for fast field updates.
 type isingAdj struct {
-	n   int
-	h   []float64
-	adj [][]qubo.Weighted
+	n      int
+	offset float64
+	h      []float64
+	adj    [][]qubo.Weighted
 }
 
 func compileIsing(is *qubo.Ising) *isingAdj {
-	a := &isingAdj{n: is.N, h: is.H, adj: make([][]qubo.Weighted, is.N)}
+	a := &isingAdj{n: is.N, offset: is.Offset, h: is.H, adj: make([][]qubo.Weighted, is.N)}
 	for k, w := range is.J {
 		i, j := k[0], k[1]
 		a.adj[i] = append(a.adj[i], qubo.Weighted{J: j, W: w})
@@ -63,86 +65,119 @@ func (a *isingAdj) localField(s []int8, i int) float64 {
 	return f
 }
 
+// energy evaluates the Ising objective at spins s through the sorted
+// adjacency, in index order. qubo.Ising.Energy sums its coupling map in
+// iteration order, which varies run to run and would make recorded
+// energies float-associate differently on every call; sampler results
+// must be bit-reproducible under a fixed seed.
+func (a *isingAdj) energy(s []int8) float64 {
+	v := a.offset
+	for i, h := range a.h {
+		v += h * float64(s[i])
+	}
+	for i := range a.adj {
+		si := float64(s[i])
+		for _, nb := range a.adj[i] {
+			if nb.J > i {
+				v += nb.W * si * float64(s[nb.J])
+			}
+		}
+	}
+	return v
+}
+
 // sqaIsing runs the PIMC anneal. If unembed is non-nil, each slice's raw
 // physical spins are mapped through it before energy accounting (used by
-// the embedded sampler in internal/embedding via RunEmbedded).
+// the embedded sampler in internal/embedding via RunEmbedded); shots run
+// on parallel workers, so unembed must be safe for concurrent use. Each
+// shot anneals on its own RNG stream derived from Params.Seed and the
+// shot index, and outcomes merge in shot order — results are
+// bit-identical at any worker count.
 func sqaIsing(is *qubo.Ising, p Params, unembed func([]int8) ([]bool, float64)) (Result, error) {
 	a := compileIsing(is)
-	rng := rand.New(rand.NewSource(p.Seed))
-	var res Result
+	shots := make([]shotOutcome, p.Shots)
+	parallel.For(p.Shots, 1, func(lo, hi int) {
+		for shot := lo; shot < hi; shot++ {
+			shots[shot] = sqaShot(a, p, unembed, shot)
+		}
+	})
+	return mergeShots(shots, p), nil
+}
 
+// sqaShot runs one PIMC shot on its own RNG stream and returns its best
+// slice (earliest slice wins energy ties, as in a serial scan) plus every
+// slice readout for the OnSample hook.
+func sqaShot(a *isingAdj, p Params, unembed func([]int8) ([]bool, float64), shot int) shotOutcome {
+	rng := rand.New(rand.NewSource(shotSeed(p.Seed, shot)))
 	P := p.Trotter
 	spins := make([][]int8, P)
 	for sl := range spins {
 		spins[sl] = make([]int8, a.n)
+		for i := range spins[sl] {
+			if rng.Intn(2) == 0 {
+				spins[sl][i] = 1
+			} else {
+				spins[sl][i] = -1
+			}
+		}
 	}
-
-	evalSlice := func(s []int8) {
+	for sweep := 0; sweep < p.Sweeps; sweep++ {
+		gamma := gammaAt(p, sweep)
+		beta := sqaBetaAt(p, sweep)
+		// Ferromagnetic inter-slice coupling; stronger as Γ → 0.
+		jPerp := -(float64(P) / (2 * beta)) * math.Log(math.Tanh(beta*gamma/float64(P)))
+		for sl := 0; sl < P; sl++ {
+			up := spins[(sl+1)%P]
+			down := spins[(sl-1+P)%P]
+			cur := spins[sl]
+			for i := 0; i < a.n; i++ {
+				si := float64(cur[i])
+				dClassical := -2 * si * a.localField(cur, i) / float64(P)
+				dQuantum := 2 * jPerp * si * float64(up[i]+down[i])
+				d := dClassical + dQuantum
+				if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
+					cur[i] = -cur[i]
+				}
+			}
+		}
+		// Global (world-line) moves: flip spin i across every slice
+		// at once. The inter-slice products are invariant, so the
+		// energy change is purely classical — the standard PIMC move
+		// that keeps the anneal ergodic once J⊥ has frozen the
+		// slices together.
+		for i := 0; i < a.n; i++ {
+			var d float64
+			for sl := 0; sl < P; sl++ {
+				d += -2 * float64(spins[sl][i]) * a.localField(spins[sl], i) / float64(P)
+			}
+			if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
+				for sl := 0; sl < P; sl++ {
+					spins[sl][i] = -spins[sl][i]
+				}
+			}
+		}
+	}
+	// Slice accounting: every slice's energy is recomputed from scratch
+	// here (no incremental accumulation survives the sweeps), so the
+	// recorded best is exact by construction — the same audit the SA path
+	// enforces by reconciling on record.
+	var out shotOutcome
+	for sl := 0; sl < P; sl++ {
 		var x []bool
 		var e float64
 		if unembed != nil {
-			x, e = unembed(s)
+			x, e = unembed(spins[sl])
 		} else {
-			x, e = qubo.SpinsToBits(s), is.Energy(s)
+			x, e = qubo.SpinsToBits(spins[sl]), a.energy(spins[sl])
 		}
-		res.record(x, e)
+		if out.best.X == nil || e < out.best.Energy {
+			out.best = Sample{X: append([]bool(nil), x...), Energy: e}
+		}
 		if p.OnSample != nil {
-			p.OnSample(x, e)
+			out.readouts = append(out.readouts, Sample{X: x, Energy: e})
 		}
 	}
-
-	for shot := 0; shot < p.Shots; shot++ {
-		for sl := range spins {
-			for i := range spins[sl] {
-				if rng.Intn(2) == 0 {
-					spins[sl][i] = 1
-				} else {
-					spins[sl][i] = -1
-				}
-			}
-		}
-		for sweep := 0; sweep < p.Sweeps; sweep++ {
-			gamma := gammaAt(p, sweep)
-			beta := sqaBetaAt(p, sweep)
-			// Ferromagnetic inter-slice coupling; stronger as Γ → 0.
-			jPerp := -(float64(P) / (2 * beta)) * math.Log(math.Tanh(beta*gamma/float64(P)))
-			for sl := 0; sl < P; sl++ {
-				up := spins[(sl+1)%P]
-				down := spins[(sl-1+P)%P]
-				cur := spins[sl]
-				for i := 0; i < a.n; i++ {
-					si := float64(cur[i])
-					dClassical := -2 * si * a.localField(cur, i) / float64(P)
-					dQuantum := 2 * jPerp * si * float64(up[i]+down[i])
-					d := dClassical + dQuantum
-					if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
-						cur[i] = -cur[i]
-					}
-				}
-			}
-			// Global (world-line) moves: flip spin i across every slice
-			// at once. The inter-slice products are invariant, so the
-			// energy change is purely classical — the standard PIMC move
-			// that keeps the anneal ergodic once J⊥ has frozen the
-			// slices together.
-			for i := 0; i < a.n; i++ {
-				var d float64
-				for sl := 0; sl < P; sl++ {
-					d += -2 * float64(spins[sl][i]) * a.localField(spins[sl], i) / float64(P)
-				}
-				if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
-					for sl := 0; sl < P; sl++ {
-						spins[sl][i] = -spins[sl][i]
-					}
-				}
-			}
-		}
-		for sl := 0; sl < P; sl++ {
-			evalSlice(spins[sl])
-		}
-		res.closeShot()
-	}
-	return res, nil
+	return out
 }
 
 // sqaBetaAt ramps the bath inverse temperature geometrically from 1 up to

@@ -108,6 +108,9 @@ func QTKP(g *graph.Graph, k, T int, opt *GateOptions) (TKPResult, error) {
 
 func runTKP(g *graph.Graph, orc *oracle.Oracle, o GateOptions) (TKPResult, error) {
 	n := g.N()
+	// The 2^n sweep fans out over the internal/parallel worker pool; the
+	// cached table then serves the Grover engine's parallel phase oracle
+	// as a plain (concurrent-safe) lookup.
 	tt := orc.TruthTable()
 	pred := func(mask uint64) bool { return tt[mask] }
 

@@ -75,7 +75,10 @@ func AnnealInput(d graph.Dataset) *graph.Graph {
 
 // Fig9 reproduces the qTKP amplitude-distribution case study on the
 // running-example graph: the frequency of each of the 64 basis states over
-// 20 000 shots, before iteration and after iterations 1, 3 and 6.
+// 20 000 shots, before iteration and after iterations 1, 3 and 6. The
+// shot loop rides Statevector.Sample's cumulative table (one uniform
+// draw + binary search per shot), so the 20 000 shots cost O(2^n +
+// shots·n), not O(shots·2^n).
 func Fig9(cfg Config) (Result, error) {
 	g := graph.Example6()
 	orc, err := oracle.Build(g, 2, 4)

@@ -14,12 +14,19 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/parallel"
 	"repro/internal/qsim"
 )
 
 // Predicate reports whether a basis state is a solution. Implementations
-// must be deterministic.
+// must be deterministic and safe for concurrent use: the phase oracle and
+// the counting loops evaluate basis states from parallel workers.
+// Truth-table lookups and pure functions qualify.
 type Predicate func(mask uint64) bool
+
+// basisGrain chunks per-basis-state fan-outs (success-probability sums,
+// counting columns); registers of ≤ 2^10 states stay serial.
+const basisGrain = 1 << 10
 
 // Stats accumulates the cost accounting of a search.
 type Stats struct {
@@ -77,14 +84,20 @@ func (e *Engine) Iterate(k int) {
 }
 
 // SuccessProbability returns the total probability mass on solution states.
+// The sum is chunk-ordered (see internal/parallel), so it is bit-identical
+// at any worker count.
 func (e *Engine) SuccessProbability() float64 {
-	var p float64
-	for i, pr := range e.sv.Probabilities() {
-		if e.pred(uint64(i)) {
-			p += pr
+	amp := e.sv.Amplitudes()
+	return parallel.Sum(len(amp), basisGrain, func(lo, hi int) float64 {
+		var p float64
+		for i := lo; i < hi; i++ {
+			if e.pred(uint64(i)) {
+				a := amp[i]
+				p += real(a)*real(a) + imag(a)*imag(a)
+			}
 		}
-	}
-	return p
+		return p
+	})
 }
 
 // Measure samples one basis state.
@@ -152,6 +165,22 @@ func Search(n int, pred Predicate, m int, gatesPerOracle int64, maxTries int, rn
 	return res
 }
 
+// bbhtDraw draws the per-round Grover iteration count of the BBHT loop:
+// j uniform over the nonnegative integers smaller than m ("choose j
+// uniformly at random among the nonnegative integers smaller than m",
+// Boyer et al., Section 3). For integral m that is [0, m); for fractional
+// m the integers below m are [0, ⌈m⌉). In particular the first round
+// (m = 1) must always draw j = 0 — a classical sample of the uniform
+// superposition — which the earlier Intn(int(m)+1) off-by-one violated,
+// inflating the iteration budget below the paper's accounting.
+func bbhtDraw(rng *rand.Rand, m float64) int {
+	hi := int(math.Ceil(m))
+	if hi < 1 {
+		hi = 1
+	}
+	return rng.Intn(hi)
+}
+
 // SearchUnknown runs the BBHT exponential search for an unknown solution
 // count: iterate j ~ Uniform[0, m) Grover steps with m growing
 // geometrically (factor 6/5), measure, verify. It stops after the
@@ -167,7 +196,7 @@ func SearchUnknown(n int, pred Predicate, gatesPerOracle int64, rng *rand.Rand) 
 	var total float64
 	var res Result
 	for total < budget {
-		j := rng.Intn(int(m) + 1)
+		j := bbhtDraw(rng, m)
 		e.Reset()
 		e.Iterate(j)
 		total += float64(j)
@@ -218,27 +247,39 @@ func CountMarked(n, t int, pred Predicate) (float64, error) {
 	}
 
 	// Inverse QFT over the counting index for each system basis state,
-	// i.e. an inverse DFT of the length-2^t column vectors.
-	col := make([]complex128, ticks)
-	for s := 0; s < dim; s++ {
-		for a := 0; a < ticks; a++ {
-			col[a] = psi[a][s]
-		}
-		inverseDFT(col)
-		for a := 0; a < ticks; a++ {
-			psi[a][s] = col[a]
-		}
-	}
+	// i.e. an inverse DFT of the length-2^t column vectors. Columns are
+	// independent, so they fan out over workers, each with its own column
+	// scratch; a worker writes only its own columns s of the shared rows.
+	parallel.ForScratch(dim, columnGrain(ticks),
+		func() []complex128 { return make([]complex128, ticks) },
+		func(col []complex128, lo, hi int) {
+			for s := lo; s < hi; s++ {
+				for a := 0; a < ticks; a++ {
+					col[a] = psi[a][s]
+				}
+				inverseDFT(col)
+				for a := 0; a < ticks; a++ {
+					psi[a][s] = col[a]
+				}
+			}
+		})
 
 	// Measurement distribution over the counting register; take the MAP
-	// outcome.
-	bestA, bestP := 0, -1.0
-	for a := 0; a < ticks; a++ {
-		var p float64
-		for s := 0; s < dim; s++ {
-			c := psi[a][s]
-			p += real(c)*real(c) + imag(c)*imag(c)
+	// outcome. Each tick's mass is a serial sum over its row, ticks fan
+	// out over workers, and the argmax scan stays serial — deterministic
+	// at any worker count.
+	probs := make([]float64, ticks)
+	parallel.For(ticks, 1, func(lo, hi int) {
+		for a := lo; a < hi; a++ {
+			var p float64
+			for _, c := range psi[a] {
+				p += real(c)*real(c) + imag(c)*imag(c)
+			}
+			probs[a] = p
 		}
+	})
+	bestA, bestP := 0, -1.0
+	for a, p := range probs {
 		if p > bestP {
 			bestA, bestP = a, p
 		}
@@ -246,6 +287,16 @@ func CountMarked(n, t int, pred Predicate) (float64, error) {
 	theta := math.Pi * float64(bestA) / float64(ticks)
 	m := float64(dim) * math.Pow(math.Sin(theta), 2)
 	return m, nil
+}
+
+// columnGrain sizes the counting fan-out chunks so one chunk is roughly
+// basisGrain complex values of DFT work, keeping tiny registers serial.
+func columnGrain(ticks int) int {
+	g := basisGrain / ticks
+	if g < 1 {
+		return 1
+	}
+	return g
 }
 
 // inverseDFT applies the unitary inverse DFT in place (radix-2

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"repro/internal/parallel"
 )
 
 func singleMarked(target uint64) Predicate {
@@ -89,6 +91,59 @@ func TestSearchUnknownM(t *testing.T) {
 	res := SearchUnknown(5, func(uint64) bool { return false }, 10, rng)
 	if res.Found {
 		t.Error("BBHT claimed success with no solutions")
+	}
+}
+
+func TestBBHTDrawStaysBelowM(t *testing.T) {
+	// Regression: BBHT draws j "uniformly among the nonnegative integers
+	// smaller than m" (Boyer et al.). The old Intn(int(m)+1) drew from
+	// [0, m] instead — the first round (m = 1) could already burn a Grover
+	// iteration instead of taking a free classical sample, and every later
+	// round could overshoot m, inflating the iteration budget beyond the
+	// paper's accounting.
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct {
+		m       float64
+		maxWant int // draws must stay in [0, maxWant]
+	}{
+		{1, 0},   // first round: always the classical sample j = 0
+		{1.2, 1}, // integers below 1.2 are {0, 1}
+		{6, 5},   // integral m: [0, 6); the old code could draw 6
+	}
+	for _, c := range cases {
+		seen := make(map[int]bool)
+		for i := 0; i < 400; i++ {
+			j := bbhtDraw(rng, c.m)
+			if j < 0 || j > c.maxWant {
+				t.Fatalf("bbhtDraw(m=%v) = %d, want within [0, %d]", c.m, j, c.maxWant)
+			}
+			seen[j] = true
+		}
+		if len(seen) != c.maxWant+1 {
+			t.Errorf("bbhtDraw(m=%v) support %v, want all of [0, %d]", c.m, seen, c.maxWant)
+		}
+	}
+}
+
+func TestCountMarkedDeterministicAcrossWorkers(t *testing.T) {
+	// Quantum counting fans the inverse-DFT columns and the tick masses
+	// over workers; the estimate must be bit-identical at any worker count.
+	pred := func(x uint64) bool { return x%5 == 0 }
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	want, err := CountMarked(10, 6, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		parallel.SetWorkers(w)
+		got, err := CountMarked(10, 6, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want { //lint:allow floatcmp determinism contract is bit-identical
+			t.Errorf("workers=%d: CountMarked = %v, want %v", w, got, want)
+		}
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/qarith"
 	"repro/internal/qsim"
 )
@@ -223,13 +224,29 @@ func (o *Oracle) VerifyResetContract(extra int) error {
 	for i := 0; i < extra; i++ {
 		masks = append(masks, rng.Uint64()&all)
 	}
-	for _, mask := range masks {
-		strict, _, err := o.MarkedStrict(mask)
+	// Each mask is two full oracle executions; fan out with one scratch
+	// register per worker (MarkedStrict allocates its own state). Errors
+	// land in per-mask slots and the first one in mask order is returned,
+	// so the reported violation is the same at any worker count.
+	errs := make([]error, len(masks))
+	parallel.ForScratch(len(masks), 4,
+		func() *bitvec.Vector { return bitvec.New(o.circuit.NumQubits()) },
+		func(st *bitvec.Vector, lo, hi int) {
+			for idx := lo; idx < hi; idx++ {
+				mask := masks[idx]
+				strict, _, err := o.MarkedStrict(mask)
+				if err != nil {
+					errs[idx] = fmt.Errorf("oracle: reset contract violated on |%0*b>: %w", o.N, mask, err)
+					continue
+				}
+				if fast := o.markedInto(st, mask); fast != strict {
+					errs[idx] = fmt.Errorf("oracle: fast path disagrees with strict path on |%0*b>: %v vs %v", o.N, mask, fast, strict)
+				}
+			}
+		})
+	for _, err := range errs {
 		if err != nil {
-			return fmt.Errorf("oracle: reset contract violated on |%0*b>: %w", o.N, mask, err)
-		}
-		if fast := o.Marked(mask); fast != strict {
-			return fmt.Errorf("oracle: fast path disagrees with strict path on |%0*b>: %v vs %v", o.N, mask, fast, strict)
+			return err
 		}
 	}
 	return nil
@@ -251,9 +268,15 @@ func (o *Oracle) setVertexMask(st *bitvec.Vector, mask uint64) {
 
 // Marked evaluates the oracle predicate for one subset mask using the fast
 // path: U_check forward only, on a clean scratch register. Not safe for
-// concurrent use.
+// concurrent use — it shares the oracle's scratch register; TruthTable is
+// the concurrent bulk entry point.
 func (o *Oracle) Marked(mask uint64) bool {
-	st := o.scratch
+	return o.markedInto(o.scratch, mask)
+}
+
+// markedInto is Marked on a caller-supplied register (any prior contents
+// are cleared), the worker-scratch form used by the parallel sweeps.
+func (o *Oracle) markedInto(st *bitvec.Vector, mask uint64) bool {
 	st.Clear()
 	o.setVertexMask(st, mask)
 	o.circuit.RunReversibleRange(st, 0, o.fwdEnd, nil)
@@ -295,12 +318,23 @@ func (o *Oracle) MarkedStrict(mask uint64) (bool, map[string]int, error) {
 	return marked, counts, nil
 }
 
-// TruthTable evaluates the oracle on all 2^n masks.
+// truthTableGrain is the per-chunk mask count of the parallel sweep. One
+// mask executes thousands of gates, so chunks stay small to keep every
+// worker busy even on the 2^10-mask paper instances.
+const truthTableGrain = 8
+
+// TruthTable evaluates the oracle on all 2^n masks. Masks fan out over
+// parallel workers, each executing U_check on its own scratch register;
+// the table is bit-identical at any worker count.
 func (o *Oracle) TruthTable() []bool {
 	tt := make([]bool, 1<<uint(o.N))
-	for mask := range tt {
-		tt[mask] = o.Marked(uint64(mask))
-	}
+	parallel.ForScratch(len(tt), truthTableGrain,
+		func() *bitvec.Vector { return bitvec.New(o.circuit.NumQubits()) },
+		func(st *bitvec.Vector, lo, hi int) {
+			for mask := lo; mask < hi; mask++ {
+				tt[mask] = o.markedInto(st, uint64(mask))
+			}
+		})
 	return tt
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 func TestOracleMatchesClassicalPredicateExample(t *testing.T) {
@@ -210,5 +211,38 @@ func TestCompactOracleMatchesAdderOracle(t *testing.T) {
 	if compact.NumQubits() >= adder.NumQubits() {
 		t.Errorf("compact oracle uses %d qubits, adder oracle %d — expected fewer",
 			compact.NumQubits(), adder.NumQubits())
+	}
+}
+
+func TestTruthTableDeterministicAcrossWorkers(t *testing.T) {
+	// The truth-table sweep fans masks out over workers, each with its own
+	// scratch register; the table must be byte-identical at any worker
+	// count and agree with the serial fast-path predicate.
+	g := graph.Gnm(10, 23, 7)
+	o, err := Build(g, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	want := o.TruthTable()
+	for mask := range want {
+		if want[mask] != o.Marked(uint64(mask)) {
+			t.Fatalf("serial truth table disagrees with Marked at mask %b", mask)
+		}
+	}
+	for _, w := range []int{2, 8} {
+		parallel.SetWorkers(w)
+		got := o.TruthTable()
+		for mask := range want {
+			if got[mask] != want[mask] {
+				t.Fatalf("workers=%d: truth table differs at mask %b", w, mask)
+			}
+		}
+		// The reset-contract sweep shares the fan-out; it must still pass
+		// (and report deterministically) on every worker count.
+		if err := o.VerifyResetContract(16); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
 	}
 }

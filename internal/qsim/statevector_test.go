@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/bitvec"
+	"repro/internal/parallel"
 )
 
 const eps = 1e-12
@@ -197,6 +198,90 @@ func TestMeasureAndSample(t *testing.T) {
 	}
 	if counts[0] < 4500 || counts[0] > 5500 {
 		t.Errorf("P(|00>) sampled %d/10000, want ~5000", counts[0])
+	}
+}
+
+func TestMeasureZeroTailFallback(t *testing.T) {
+	// Regression: when cumulative rounding (here forced by a norm < 1)
+	// leaves the uniform draw past the running sum, Measure used to fall
+	// back to the LAST basis state outright — even one with exactly zero
+	// probability, an outcome a measurement can never produce. It must
+	// fall back to the last state with positive probability instead.
+	s := &Statevector{n: 2, amp: []complex128{0, complex(math.Sqrt(0.5), 0), 0, 0}}
+	rng := rand.New(rand.NewSource(1)) // first Float64 ≈ 0.6047 > 0.5: past the sum
+	if got := s.Measure(rng); got != 1 {
+		t.Errorf("Measure fallback = %d, want 1 (the only nonzero state)", got)
+	}
+	// Sample shares the fallback.
+	counts := s.Sample(200, rand.New(rand.NewSource(1)))
+	if counts[1] != 200 {
+		t.Errorf("Sample counts = %v, want all 200 on state 1", counts)
+	}
+}
+
+func TestSampleMatchesRepeatedMeasure(t *testing.T) {
+	// Sample's cumulative-table-plus-binary-search must reproduce repeated
+	// Measure outcome-for-outcome on the same rng stream.
+	s := NewStatevector(5)
+	s.EqualSuperposition()
+	s.ApplyPhaseOracle(func(b uint64) bool { return b%3 == 0 })
+	s.ApplyDiffusion()
+	const shots = 500
+	want := make(map[uint64]int)
+	rngA := rand.New(rand.NewSource(9))
+	for i := 0; i < shots; i++ {
+		want[s.Measure(rngA)]++
+	}
+	got := s.Sample(shots, rand.New(rand.NewSource(9)))
+	if len(got) != len(want) {
+		t.Fatalf("outcome support differs: Sample %v vs Measure %v", got, want)
+	}
+	for b, n := range want {
+		if got[b] != n {
+			t.Errorf("counts[%d] = %d via Sample, %d via Measure", b, got[b], n)
+		}
+	}
+}
+
+func TestKernelsDeterministicAcrossWorkers(t *testing.T) {
+	// The amplitude kernels and Sample must be bit-identical at any worker
+	// count (the internal/parallel contract). n = 14 spans two grain
+	// chunks, so the H pair kernel on qubit 0 exercises cross-chunk pairs.
+	run := func() ([]complex128, []float64, map[uint64]int) {
+		s := NewStatevector(14)
+		s.EqualSuperposition()
+		for q := 0; q < 14; q += 3 {
+			s.ApplyH(q)
+		}
+		s.ApplyMCX([]Control{On(0), Off(3)}, 13)
+		s.ApplyMCZ([]Control{On(1)}, 12)
+		s.ApplyPhaseOracle(func(b uint64) bool { return b%7 == 0 })
+		s.ApplyDiffusion()
+		amp := append([]complex128(nil), s.Amplitudes()...)
+		return amp, s.Probabilities(), s.Sample(300, rand.New(rand.NewSource(4)))
+	}
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	ampWant, probWant, countsWant := run()
+	for _, w := range []int{2, 8} {
+		parallel.SetWorkers(w)
+		amp, prob, counts := run()
+		for i := range amp {
+			if amp[i] != ampWant[i] { //lint:allow floatcmp determinism contract is bit-identical
+				t.Fatalf("workers=%d: amp[%d] = %v, want %v", w, i, amp[i], ampWant[i])
+			}
+			if prob[i] != probWant[i] { //lint:allow floatcmp determinism contract is bit-identical
+				t.Fatalf("workers=%d: prob[%d] = %v, want %v", w, i, prob[i], probWant[i])
+			}
+		}
+		if len(counts) != len(countsWant) {
+			t.Fatalf("workers=%d: sample support %v, want %v", w, counts, countsWant)
+		}
+		for b, n := range countsWant {
+			if counts[b] != n {
+				t.Fatalf("workers=%d: counts[%d] = %d, want %d", w, b, counts[b], n)
+			}
+		}
 	}
 }
 

@@ -196,15 +196,19 @@ type Ising struct {
 	J      map[[2]int]float64
 }
 
-// ToIsing converts the QUBO via x_i = (1+s_i)/2.
+// ToIsing converts the QUBO via x_i = (1+s_i)/2. Quadratic terms are
+// folded in sorted pair order, not map order, so the floating-point
+// association of H and Offset — and therefore every seeded sampler
+// trajectory downstream — is identical on every call.
 func (m *Model) ToIsing() *Ising {
 	is := &Ising{N: m.n, Offset: m.Offset, H: make([]float64, m.n), J: make(map[[2]int]float64)}
 	for i, a := range m.linear {
 		is.H[i] += a / 2
 		is.Offset += a / 2
 	}
-	for k, w := range m.quad {
+	for _, k := range m.Interactions() {
 		i, j := k[0], k[1]
+		w := m.quad[k]
 		is.J[[2]int{i, j}] += w / 4
 		is.H[i] += w / 4
 		is.H[j] += w / 4
