@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt-check vet lint test race bench-smoke fuzz-smoke ci
+.PHONY: build fmt-check vet lint test race bench-smoke bench-json fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -31,9 +31,18 @@ race:
 	$(GO) test -race ./...
 
 # One iteration of every benchmark: catches benchmarks that panic or
-# fatal without paying for stable timings.
+# fatal without paying for stable timings. Covers the fast-path packages
+# (root BenchmarkOracleSweep/BenchmarkQMKPBinarySearch pairs included).
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/kplex/ ./internal/fastoracle/
+
+# Timed fast-path benchmarks rendered as JSON (cmd/benchjson) — the
+# artifact behind EXPERIMENTS.md's speedup table and the CI upload.
+bench-json:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkOracleSweep|BenchmarkQMKPBinarySearch' . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkGreedy|BenchmarkEvaluatorSweep' ./internal/kplex/ ./internal/fastoracle/ ; } \
+	| $(GO) run ./cmd/benchjson > BENCH_ISSUE3.json
+	@cat BENCH_ISSUE3.json
 
 # Short randomized runs of the native fuzz targets (the checked-in seed
 # corpora always run as part of `make test`).
@@ -41,5 +50,6 @@ fuzz-smoke:
 	$(GO) test ./internal/qarith/ -fuzz FuzzRippleCarryAdder -fuzztime 5s
 	$(GO) test ./internal/qarith/ -fuzz FuzzComparator -fuzztime 5s
 	$(GO) test ./internal/bitvec/ -fuzz FuzzBitVec -fuzztime 5s
+	$(GO) test ./internal/oracle/ -run FuzzFastOracle -fuzz FuzzFastOracle -fuzztime 5s
 
 ci: build fmt-check vet lint test race bench-smoke

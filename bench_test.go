@@ -308,6 +308,52 @@ func BenchmarkAblationParallelCounting(b *testing.B) {
 	benchCounting(b)
 }
 
+// --- Semantic fast-path vs circuit replay (DESIGN.md §7) ---
+//
+// Both paths answer the identical predicate (differentially tested, so
+// the pairs below time the same work), at n = 16 — beyond the paper's
+// instances, where the circuit sweep costs 2^16 replays of a ~4000-gate
+// oracle and the semantic sweep costs 2^16 popcount probes.
+
+func benchOracleSweep(b *testing.B, fast bool) {
+	g := graph.Gnm(16, 80, 3)
+	orc, err := oracle.BuildOpts(g, 2, 4, oracle.Options{FastPath: fast})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		orc.TruthTable()
+	}
+}
+
+func BenchmarkOracleSweep(b *testing.B) {
+	b.Run("circuit", func(b *testing.B) { benchOracleSweep(b, false) })
+	b.Run("fast", func(b *testing.B) { benchOracleSweep(b, true) })
+}
+
+func benchQMKPBinarySearch(b *testing.B, disableFast bool) {
+	g := graph.Gnm(16, 80, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.QMKP(g, 2, &core.GateOptions{
+			Rng:             rand.New(rand.NewSource(1)),
+			DisableFastPath: disableFast,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Size == 0 {
+			b.Fatal("binary search found nothing")
+		}
+	}
+}
+
+func BenchmarkQMKPBinarySearch(b *testing.B) {
+	b.Run("circuit", func(b *testing.B) { benchQMKPBinarySearch(b, true) })
+	b.Run("fast", func(b *testing.B) { benchQMKPBinarySearch(b, false) })
+}
+
 // Grover search cost growth: the O*(2^{n/2}) oracle-call scaling.
 func BenchmarkQMKPByN(b *testing.B) {
 	for _, n := range []int{6, 8, 10} {

@@ -1,0 +1,171 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON document on stdout, so benchmark runs can be archived as build
+// artifacts and diffed across commits. It keeps the context lines Go
+// prints (goos/goarch/pkg/cpu) with each benchmark, parses the standard
+// result fields (iterations, ns/op, and the -benchmem B/op and allocs/op
+// when present), and — because the fast-path work lands as circuit/fast
+// sub-benchmark pairs — computes the speedup ratio for every benchmark
+// family that has both a "circuit" and a "fast" (or "reference" and
+// "bitset") variant.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . | go run ./cmd/benchjson > bench.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	Name        string  `json:"name"`              // full name, e.g. BenchmarkOracleSweep/fast
+	Package     string  `json:"package,omitempty"` // pkg: line preceding the result
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup compares the slow and fast variants of one benchmark family.
+type Speedup struct {
+	Family string  `json:"family"` // e.g. BenchmarkOracleSweep
+	Slow   string  `json:"slow"`   // sub-benchmark taken as baseline
+	Fast   string  `json:"fast"`   // sub-benchmark taken as optimised
+	Factor float64 `json:"factor"` // slow ns/op ÷ fast ns/op
+	SlowNs float64 `json:"slow_ns"`
+	FastNs float64 `json:"fast_ns"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	GoOS    string    `json:"goos,omitempty"`
+	GoArch  string    `json:"goarch,omitempty"`
+	CPU     string    `json:"cpu,omitempty"`
+	Results []Entry   `json:"results"`
+	Speedup []Speedup `json:"speedups,omitempty"`
+}
+
+// slowFastPairs maps a baseline sub-benchmark name to its optimised
+// counterpart; families are detected by having both members.
+var slowFastPairs = map[string]string{
+	"circuit":   "fast",
+	"reference": "bitset",
+}
+
+func main() {
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{Results: []Entry{}}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			e, ok := parseResult(line)
+			if !ok {
+				continue
+			}
+			e.Package = pkg
+			rep.Results = append(rep.Results, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	rep.Speedup = speedups(rep.Results)
+	return rep, nil
+}
+
+// parseResult parses one result line:
+//
+//	BenchmarkName-8   123   4567 ns/op [ 89 B/op  7 allocs/op ]
+func parseResult(line string) (Entry, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || f[3] != "ns/op" {
+		return Entry{}, false
+	}
+	iters, err1 := strconv.ParseInt(f[1], 10, 64)
+	ns, err2 := strconv.ParseFloat(f[2], 64)
+	if err1 != nil || err2 != nil {
+		return Entry{}, false
+	}
+	// Strip the -GOMAXPROCS suffix from the name.
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	e := Entry{Name: name, Iterations: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "B/op":
+			e.BytesPerOp = v
+		case "allocs/op":
+			e.AllocsPerOp = v
+		}
+	}
+	return e, true
+}
+
+func speedups(results []Entry) []Speedup {
+	byName := make(map[string]Entry, len(results))
+	for _, e := range results {
+		byName[e.Name] = e
+	}
+	var out []Speedup
+	for _, e := range results {
+		i := strings.LastIndex(e.Name, "/")
+		if i < 0 {
+			continue
+		}
+		family, variant := e.Name[:i], e.Name[i+1:]
+		fastName, ok := slowFastPairs[variant]
+		if !ok {
+			continue
+		}
+		fast, ok := byName[family+"/"+fastName]
+		if !ok || fast.NsPerOp <= 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Family: family,
+			Slow:   e.Name,
+			Fast:   fast.Name,
+			Factor: e.NsPerOp / fast.NsPerOp,
+			SlowNs: e.NsPerOp,
+			FastNs: fast.NsPerOp,
+		})
+	}
+	return out
+}

@@ -48,6 +48,7 @@ func run() error {
 		rPen    = flag.Float64("R", 2, "qaMKP: penalty weight (must be > 1)")
 		embed   = flag.Bool("embed", false, "qaMKP: run through the hardware-embedding pipeline")
 		reduce  = flag.Bool("reduce", false, "apply core-truss co-pruning before solving")
+		circuit = flag.Bool("circuit", false, "qmkp/qtkp: force oracle evaluation through circuit replay (disables the semantic fast path; same results, slower)")
 	)
 	flag.Parse()
 
@@ -73,7 +74,7 @@ func run() error {
 
 	switch *algo {
 	case "qmkp":
-		res, err := core.QMKP(g, *k, &core.GateOptions{Rng: rand.New(rand.NewSource(*seed))})
+		res, err := core.QMKP(g, *k, &core.GateOptions{Rng: rand.New(rand.NewSource(*seed)), DisableFastPath: *circuit})
 		if err != nil {
 			return err
 		}
@@ -91,7 +92,7 @@ func run() error {
 		if *tSize < 1 {
 			return fmt.Errorf("qtkp needs -T ≥ 1")
 		}
-		res, err := core.QTKP(g, *k, *tSize, &core.GateOptions{Rng: rand.New(rand.NewSource(*seed))})
+		res, err := core.QTKP(g, *k, *tSize, &core.GateOptions{Rng: rand.New(rand.NewSource(*seed)), DisableFastPath: *circuit})
 		if err != nil {
 			return err
 		}

@@ -109,7 +109,7 @@ func TestSeededRand(t *testing.T) {
 }
 
 func TestFloatCmp(t *testing.T) {
-	checkFixture(t, FloatCmp{}, "fixture/numeric/qsim")
+	checkFixture(t, FloatCmp{}, "fixture/numeric/qsim", "fixture/numeric/fastoracle")
 }
 
 func TestErrRet(t *testing.T) {

@@ -9,7 +9,8 @@ import (
 
 // FloatCmp forbids exact == / != comparisons between floating-point or
 // complex operands in the non-test files of the numeric packages (qsim,
-// qubo, anneal, grover). Amplitudes, energies and QUBO coefficients are
+// qubo, anneal, grover, fastoracle). Amplitudes, energies and QUBO
+// coefficients are
 // accumulated in different orders by different code paths; exact
 // equality on them is a reproducibility landmine. Compare against a
 // tolerance instead, or — where exact identity of an untouched value is
@@ -25,7 +26,7 @@ func (FloatCmp) Doc() string {
 }
 
 // floatCmpPackages are the import-path suffixes subject to the check.
-var floatCmpPackages = []string{"/qsim", "/qubo", "/anneal", "/grover"}
+var floatCmpPackages = []string{"/qsim", "/qubo", "/anneal", "/grover", "/fastoracle"}
 
 // Check implements Analyzer.
 func (a FloatCmp) Check(pkg *Package) []Diagnostic {

@@ -1,0 +1,27 @@
+// Package fastoracle (fixture) exercises floatcmp: the semantic oracle
+// package computes success probabilities and speedup ratios, so its
+// import-path suffix is on the numeric list and exact float comparisons
+// in non-test files are flagged.
+package fastoracle
+
+import "math"
+
+// Bad compares a success probability exactly.
+func Bad(p, q float64) bool {
+	return p == q // want "exact floating-point comparison"
+}
+
+// BadRatio compares a speedup ratio against a constant.
+func BadRatio(r float64) bool {
+	return r != 1 // want "exact floating-point comparison"
+}
+
+// Good compares with a tolerance.
+func Good(p, q float64) bool {
+	return math.Abs(p-q) < 1e-12
+}
+
+// GoodMask is integer word arithmetic, untouched by the check.
+func GoodMask(a, b uint64) bool {
+	return a&b == b
+}

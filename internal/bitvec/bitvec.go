@@ -75,6 +75,34 @@ func (v *Vector) OnesCount() int {
 	return c
 }
 
+// Word returns the i-th 64-bit word of the backing storage (bit j of the
+// word is vector index 64·i+j). Bits at indices ≥ Len are always zero, so
+// callers may popcount words directly.
+func (v *Vector) Word(i int) uint64 {
+	if i < 0 || i >= len(v.words) {
+		panic(fmt.Sprintf("bitvec: word index %d out of range [0,%d)", i, len(v.words)))
+	}
+	return v.words[i]
+}
+
+// NumWords returns how many 64-bit words back the vector.
+func (v *Vector) NumWords() int { return len(v.words) }
+
+// AndCount returns the number of positions set in both v and o —
+// popcount(v ∧ o) — without materialising the intersection. The lengths
+// must match. This is the word-at-a-time kernel behind the graph package's
+// popcount-based degree and common-neighbour queries.
+func (v *Vector) AndCount(o *Vector) int {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: AndCount length mismatch %d != %d", v.n, o.n))
+	}
+	c := 0
+	for i, w := range v.words {
+		c += bits.OnesCount64(w & o.words[i])
+	}
+	return c
+}
+
 // Any reports whether any bit is set.
 func (v *Vector) Any() bool {
 	for _, w := range v.words {

@@ -168,3 +168,58 @@ func TestNegativeLengthPanics(t *testing.T) {
 	}()
 	New(-1)
 }
+
+func TestWordAccess(t *testing.T) {
+	v := New(130)
+	v.Set(0, true)
+	v.Set(63, true)
+	v.Set(64, true)
+	v.Set(129, true)
+	if v.NumWords() != 3 {
+		t.Fatalf("NumWords = %d, want 3", v.NumWords())
+	}
+	if w := v.Word(0); w != 1|1<<63 {
+		t.Errorf("Word(0) = %#x, want %#x", w, uint64(1|1<<63))
+	}
+	if w := v.Word(1); w != 1 {
+		t.Errorf("Word(1) = %#x, want 1", w)
+	}
+	if w := v.Word(2); w != 1<<1 {
+		t.Errorf("Word(2) = %#x, want %#x", w, uint64(1<<1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Word(3) out of range did not panic")
+		}
+	}()
+	v.Word(3)
+}
+
+func TestAndCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b := New(300), New(300)
+	want := 0
+	for i := 0; i < 300; i++ {
+		x, y := rng.Intn(2) == 1, rng.Intn(2) == 1
+		a.Set(i, x)
+		b.Set(i, y)
+		if x && y {
+			want++
+		}
+	}
+	if got := a.AndCount(b); got != want {
+		t.Errorf("AndCount = %d, want %d", got, want)
+	}
+	if got := b.AndCount(a); got != want {
+		t.Errorf("AndCount not symmetric: %d vs %d", got, want)
+	}
+}
+
+func TestAndCountLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AndCount length mismatch did not panic")
+		}
+	}()
+	New(10).AndCount(New(11))
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 // path5 is the path graph 0-1-2-3-4.
@@ -193,5 +194,64 @@ func TestReachabilityGateGrowth(t *testing.T) {
 			t.Errorf("L=%d: reachability gates %d below L-1's %d", L, gates, prev)
 		}
 		prev = gates
+	}
+}
+
+func TestClubFastPathMatchesCircuit(t *testing.T) {
+	// The semantic masked-BFS path must agree with the compiled circuit's
+	// truth table on every mask, for every diameter bound.
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 8; trial++ {
+		n := 4 + rng.Intn(4)
+		g := graph.Gnp(n, 0.25+rng.Float64()*0.5, rng.Int63())
+		L := 1 + rng.Intn(3)
+		T := 1 + rng.Intn(n)
+		circuit, err := BuildOracle(g, L, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := BuildOracleOpts(g, L, T, Options{FastPath: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctt, ftt := circuit.TruthTable(), fast.TruthTable()
+		for mask := range ctt {
+			if ctt[mask] != ftt[mask] {
+				t.Fatalf("n=%d L=%d T=%d mask=%b: circuit %v, fast %v",
+					n, L, T, mask, ctt[mask], ftt[mask])
+			}
+			if fast.Marked(uint64(mask)) != fast.MarkedCircuit(uint64(mask)) {
+				t.Fatalf("n=%d L=%d T=%d mask=%b: Marked disagrees with circuit replay",
+					n, L, T, mask)
+			}
+			set := graph.MaskSubset(uint64(mask), n)
+			if want := len(set) >= T && IsNClub(g, set, L); ctt[mask] != want {
+				t.Fatalf("n=%d L=%d T=%d mask=%b: oracle %v, classical IsNClub %v",
+					n, L, T, mask, ctt[mask], want)
+			}
+		}
+	}
+}
+
+func TestClubTruthTableDeterministicAcrossWorkers(t *testing.T) {
+	g := graph.Gnp(7, 0.45, 62)
+	for _, opts := range []Options{{}, {FastPath: true}} {
+		o, err := BuildOracleOpts(g, 2, 3, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := parallel.SetWorkers(1)
+		want := o.TruthTable()
+		for _, w := range []int{2, 8} {
+			parallel.SetWorkers(w)
+			got := o.TruthTable()
+			for mask := range want {
+				if got[mask] != want[mask] {
+					t.Fatalf("fast=%v workers=%d: truth table differs at mask %b",
+						opts.FastPath, w, mask)
+				}
+			}
+		}
+		parallel.SetWorkers(prev)
 	}
 }

@@ -2,9 +2,11 @@ package club
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitvec"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/qarith"
 	"repro/internal/qsim"
 )
@@ -36,6 +38,24 @@ type Oracle struct {
 	fwdEnd  int
 
 	scratch *bitvec.Vector
+
+	// adjKet, when non-nil (Options.FastPath), holds each vertex's
+	// neighbourhood as a ket-convention mask; Marked then answers by
+	// masked bitset BFS instead of circuit replay. The circuit encoding
+	// only lights an edge qubit when both endpoints are selected, so every
+	// path it can certify lies entirely inside the subset — exactly the
+	// paths a BFS restricted to the mask explores.
+	adjKet []uint64
+}
+
+// Options selects build-time variants of the club oracle.
+type Options struct {
+	// FastPath makes Marked and TruthTable answer the oracle predicate
+	// semantically — popcount size check plus an L-bounded BFS over packed
+	// adjacency words per selected source — instead of replaying the
+	// compiled circuit. The circuit is still built (gate accounting and
+	// the differential ground truth need it); requires n ≤ 64.
+	FastPath bool
 }
 
 // constZero marks a reachability entry that is identically |0> (no path of
@@ -45,6 +65,11 @@ const constZero = -1
 // BuildOracle compiles the n-club oracle for graph g with diameter bound L
 // and size threshold T.
 func BuildOracle(g *graph.Graph, L, T int) (*Oracle, error) {
+	return BuildOracleOpts(g, L, T, Options{})
+}
+
+// BuildOracleOpts is BuildOracle with explicit Options.
+func BuildOracleOpts(g *graph.Graph, L, T int, opts Options) (*Oracle, error) {
 	n := g.N()
 	if n < 1 {
 		return nil, fmt.Errorf("club: empty graph")
@@ -167,19 +192,108 @@ func BuildOracle(g *graph.Graph, L, T int) (*Oracle, error) {
 	o.fwdEnd = c.Len() - 1
 	c.AppendInverse(0, o.fwdEnd)
 	o.scratch = bitvec.New(c.NumQubits())
+	if opts.FastPath {
+		if n > 64 {
+			return nil, fmt.Errorf("club: fast path requires n ≤ 64, got n=%d", n)
+		}
+		o.adjKet = make([]uint64, n)
+		for v := 0; v < n; v++ {
+			o.adjKet[v] = g.NeighborMask(v)
+		}
+	}
 	return o, nil
 }
 
 // Marked evaluates the oracle predicate for one subset mask (paper ket
-// convention). Not safe for concurrent use.
+// convention). With the fast path enabled this is a size popcount plus a
+// bounded BFS per selected source and safe for concurrent use; otherwise
+// it replays the forward circuit on the shared scratch register and is
+// NOT safe for concurrent use — TruthTable is the bulk entry point.
 func (o *Oracle) Marked(mask uint64) bool {
-	st := o.scratch
+	if o.adjKet != nil {
+		return o.markedFast(mask)
+	}
+	return o.markedInto(o.scratch, mask)
+}
+
+// MarkedCircuit evaluates the predicate by circuit replay regardless of
+// the fast-path setting — the differential tests' reference. Not safe for
+// concurrent use (shared scratch).
+func (o *Oracle) MarkedCircuit(mask uint64) bool {
+	return o.markedInto(o.scratch, mask)
+}
+
+// markedInto is the circuit evaluation on a caller-supplied register, the
+// worker-scratch form used by the parallel truth-table sweep.
+func (o *Oracle) markedInto(st *bitvec.Vector, mask uint64) bool {
 	st.Clear()
 	for i := 0; i < o.N; i++ {
 		st.Set(o.vertex[i], mask&(1<<uint(o.N-1-i)) != 0)
 	}
 	o.circuit.RunReversibleRange(st, 0, o.fwdEnd, nil)
 	return st.Get(o.clubQ) && st.Get(o.sizeQ)
+}
+
+// markedFast is the semantic predicate: size ≥ T and every selected pair
+// joined by a ≤L-hop path whose vertices all lie inside the subset.
+func (o *Oracle) markedFast(mask uint64) bool {
+	return bits.OnesCount64(mask) >= o.T && o.clubFast(mask)
+}
+
+// clubFast runs one L-bounded BFS per selected source, restricted to the
+// subset: frontier expansion is a word-OR of neighbour masks ANDed with
+// the subset, mirroring the circuit's reachability cascade (whose edge
+// qubits only fire when both endpoints are selected).
+func (o *Oracle) clubFast(mask uint64) bool {
+	for m := mask; m != 0; m &= m - 1 {
+		start := m & (^m + 1) // isolated lowest bit: the source vertex
+		visited, frontier := start, start
+		for t := 0; t < o.L && frontier != 0; t++ {
+			var next uint64
+			for f := frontier; f != 0; f &= f - 1 {
+				w := o.N - 1 - bits.TrailingZeros64(f)
+				next |= o.adjKet[w]
+			}
+			next &= mask &^ visited
+			visited |= next
+			frontier = next
+		}
+		if visited != mask {
+			return false
+		}
+	}
+	return true
+}
+
+// truthTableGrain chunks the circuit sweep (thousands of gates per mask);
+// fastTableGrain chunks the semantic sweep (a bounded BFS per mask).
+const (
+	truthTableGrain = 8
+	fastTableGrain  = 1 << 10
+)
+
+// TruthTable evaluates the oracle on all 2^n masks, fanning the sweep out
+// over the parallel pool — semantic word arithmetic when the fast path is
+// enabled, per-worker scratch circuit replay otherwise. The table is
+// bit-identical at any worker count and across the two paths.
+func (o *Oracle) TruthTable() []bool {
+	tt := make([]bool, 1<<uint(o.N))
+	if o.adjKet != nil {
+		parallel.For(len(tt), fastTableGrain, func(lo, hi int) {
+			for mask := lo; mask < hi; mask++ {
+				tt[mask] = o.markedFast(uint64(mask))
+			}
+		})
+		return tt
+	}
+	parallel.ForScratch(len(tt), truthTableGrain,
+		func() *bitvec.Vector { return bitvec.New(o.circuit.NumQubits()) },
+		func(st *bitvec.Vector, lo, hi int) {
+			for mask := lo; mask < hi; mask++ {
+				tt[mask] = o.markedInto(st, uint64(mask))
+			}
+		})
+	return tt
 }
 
 // TotalGates returns the gate count of one oracle call.

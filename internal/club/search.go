@@ -14,15 +14,17 @@ func QTClub(g *graph.Graph, L, T int, rng *rand.Rand) (Result, bool, error) {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
-	orc, err := BuildOracle(g, L, T)
+	n := g.N()
+	// The semantic fast path answers the same predicate as the circuit
+	// (differentially tested); the circuit is still compiled for gate
+	// accounting either way.
+	orc, err := BuildOracleOpts(g, L, T, Options{FastPath: n <= 64})
 	if err != nil {
 		return Result{}, false, err
 	}
-	n := g.N()
-	tt := make([]bool, 1<<uint(n))
+	tt := orc.TruthTable()
 	m := 0
 	for mask := range tt {
-		tt[mask] = orc.Marked(uint64(mask))
 		if tt[mask] {
 			m++
 		}

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/fastoracle"
 	"repro/internal/graph"
 	"repro/internal/grover"
 	"repro/internal/kplex"
@@ -50,6 +51,11 @@ type GateOptions struct {
 	// paper's remark that "upper bounding techniques can also be
 	// integrated into the binary search process of qMKP".
 	UseClassicalBounds bool
+	// DisableFastPath forces every oracle evaluation through circuit
+	// replay. The default (fast path on, for n ≤ 64) answers the same
+	// predicate semantically — truth tables, counts, and measurement
+	// draws are bit-identical either way; only wall-clock changes.
+	DisableFastPath bool
 }
 
 func (o *GateOptions) withDefaults(n int) GateOptions {
@@ -90,11 +96,17 @@ type TKPResult struct {
 	WallTime time.Duration // simulator wall clock
 }
 
+// fastPathOK reports whether the semantic fast path applies: the mask
+// encoding is a single word and the caller did not opt out.
+func fastPathOK(n int, o GateOptions) bool {
+	return n <= 64 && !o.DisableFastPath
+}
+
 // QTKP finds a k-plex of size ≥ T in g, or reports absence (Algorithm 2).
 func QTKP(g *graph.Graph, k, T int, opt *GateOptions) (TKPResult, error) {
 	o := opt.withDefaults(g.N())
 	start := time.Now()
-	orc, err := oracle.Build(g, k, T)
+	orc, err := oracle.BuildOpts(g, k, T, oracle.Options{FastPath: fastPathOK(g.N(), o)})
 	if err != nil {
 		return TKPResult{}, err
 	}
@@ -107,19 +119,26 @@ func QTKP(g *graph.Graph, k, T int, opt *GateOptions) (TKPResult, error) {
 }
 
 func runTKP(g *graph.Graph, orc *oracle.Oracle, o GateOptions) (TKPResult, error) {
-	n := g.N()
-	// The 2^n sweep fans out over the internal/parallel worker pool; the
+	// The 2^n sweep fans out over the internal/parallel worker pool
+	// (semantic word arithmetic when the oracle's fast path is on); the
 	// cached table then serves the Grover engine's parallel phase oracle
 	// as a plain (concurrent-safe) lookup.
 	tt := orc.TruthTable()
-	pred := func(mask uint64) bool { return tt[mask] }
-
 	m := 0
 	for _, b := range tt {
 		if b {
 			m++
 		}
 	}
+	pred := func(mask uint64) bool { return tt[mask] }
+	return runTKPPred(g.N(), pred, m, int64(orc.TotalGates()), o)
+}
+
+// runTKPPred is the engine behind QTKP once the predicate and its exact
+// solution count are known, however they were obtained — a truth-table
+// sweep (runTKP) or the cross-threshold cplex table (QMKP). Given the
+// same (pred, m, gates, rng) it is bit-identical across those sources.
+func runTKPPred(n int, pred func(uint64) bool, m int, gates int64, o GateOptions) (TKPResult, error) {
 	mEst := m
 	if o.QuantumCounting {
 		est, err := grover.CountMarked(n, o.CountingQubits, pred)
@@ -141,7 +160,7 @@ func runTKP(g *graph.Graph, orc *oracle.Oracle, o GateOptions) (TKPResult, error
 		// The wrong-conclusion probability of that procedure is the
 		// chance a real solution would have survived the schedule
 		// unmeasured, which is ≤ the usual π²/(4I)² bound.
-		sr := grover.Search(n, pred, 1, int64(orc.TotalGates()), 1, o.Rng)
+		sr := grover.Search(n, pred, 1, gates, 1, o.Rng)
 		res.Found = false
 		res.Iterations = sr.Stats.Iterations
 		res.OracleCalls = sr.Stats.OracleCalls
@@ -150,7 +169,7 @@ func runTKP(g *graph.Graph, orc *oracle.Oracle, o GateOptions) (TKPResult, error
 		return res, nil
 	}
 
-	sr := grover.Search(n, pred, mEst, int64(orc.TotalGates()), o.MaxTries, o.Rng)
+	sr := grover.Search(n, pred, mEst, gates, o.MaxTries, o.Rng)
 	res.Iterations = sr.Stats.Iterations
 	res.OracleCalls = sr.Stats.OracleCalls
 	res.Gates = sr.Stats.Gates
@@ -202,6 +221,20 @@ func QMKP(g *graph.Graph, k int, opt *GateOptions) (MKPResult, error) {
 	o := opt.withDefaults(n)
 	start := time.Now()
 
+	// Cross-threshold cache: the k-plex half of the oracle predicate does
+	// not depend on T, so one parallel 2^n sweep (packed bitset + popcount
+	// histogram) serves every probe of the binary search — each probe's
+	// predicate is a word lookup and its exact solution count M(T) a
+	// histogram suffix sum, instead of a fresh per-T sweep.
+	var tab *fastoracle.Table
+	if fastPathOK(n, o) {
+		eval, err := fastoracle.New(g, k)
+		if err != nil {
+			return MKPResult{}, err
+		}
+		tab = eval.Table()
+	}
+
 	var out MKPResult
 	lo, hi := 1, n
 	if o.UseClassicalBounds {
@@ -221,11 +254,18 @@ func QMKP(g *graph.Graph, k int, opt *GateOptions) (MKPResult, error) {
 	missProb := 0.0
 	for lo <= hi {
 		T := (lo + hi + 1) / 2
-		orc, err := oracle.Build(g, k, T)
+		// The circuit is still compiled per probe: gate counts and QPU
+		// time modelling come from it whichever path answers queries.
+		orc, err := oracle.BuildOpts(g, k, T, oracle.Options{FastPath: tab != nil})
 		if err != nil {
 			return MKPResult{}, err
 		}
-		probe, err := runTKP(g, orc, o)
+		var probe TKPResult
+		if tab != nil {
+			probe, err = runTKPPred(n, tab.Predicate(T), tab.CountAtLeast(T), int64(orc.TotalGates()), o)
+		} else {
+			probe, err = runTKP(g, orc, o)
+		}
 		if err != nil {
 			return MKPResult{}, err
 		}

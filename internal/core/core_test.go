@@ -202,3 +202,72 @@ func TestQMKPWithClassicalBounds(t *testing.T) {
 		}
 	}
 }
+
+func TestQMKPFastPathBitIdenticalToCircuit(t *testing.T) {
+	// The fast path must not merely find the same optimum — every probe,
+	// draw, and cost figure except wall-clock must match the circuit
+	// path's, because both feed the same (pred, M, gates) into the same
+	// seeded engine. This is the guarantee that lets benchmarks compare
+	// the two as the *same* algorithm at different speeds.
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 4; trial++ {
+		n := 6 + rng.Intn(3)
+		g := graph.Gnp(n, 0.45, rng.Int63())
+		for _, qc := range []bool{false, true} {
+			fast, err := QMKP(g, 2, &GateOptions{Rng: rand.New(rand.NewSource(9)), QuantumCounting: qc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			circ, err := QMKP(g, 2, &GateOptions{Rng: rand.New(rand.NewSource(9)), QuantumCounting: qc, DisableFastPath: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast.Size != circ.Size || fast.Gates != circ.Gates ||
+				fast.OracleCalls != circ.OracleCalls ||
+				fast.ErrorProbability != circ.ErrorProbability {
+				t.Fatalf("n=%d qc=%v: fast (size=%d gates=%d calls=%d) vs circuit (size=%d gates=%d calls=%d)",
+					n, qc, fast.Size, fast.Gates, fast.OracleCalls,
+					circ.Size, circ.Gates, circ.OracleCalls)
+			}
+			if len(fast.Set) != len(circ.Set) {
+				t.Fatalf("n=%d qc=%v: sets differ: %v vs %v", n, qc, fast.Set, circ.Set)
+			}
+			for i := range fast.Set {
+				if fast.Set[i] != circ.Set[i] {
+					t.Fatalf("n=%d qc=%v: sets differ: %v vs %v", n, qc, fast.Set, circ.Set)
+				}
+			}
+			if len(fast.Progress) != len(circ.Progress) {
+				t.Fatalf("n=%d qc=%v: probe sequences differ: %d vs %d probes",
+					n, qc, len(fast.Progress), len(circ.Progress))
+			}
+			for i := range fast.Progress {
+				fp, cp := fast.Progress[i], circ.Progress[i]
+				if fp.T != cp.T || fp.Found != cp.Found || fp.Size != cp.Size || fp.CumGates != cp.CumGates {
+					t.Fatalf("n=%d qc=%v probe %d: fast %+v vs circuit %+v", n, qc, i, fp, cp)
+				}
+			}
+		}
+	}
+}
+
+func TestQTKPFastPathBitIdenticalToCircuit(t *testing.T) {
+	g := graph.Gnm(8, 14, 5)
+	fast, err := QTKP(g, 2, 3, &GateOptions{Rng: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := QTKP(g, 2, 3, &GateOptions{Rng: rand.New(rand.NewSource(4)), DisableFastPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Found != circ.Found || fast.M != circ.M || fast.Gates != circ.Gates ||
+		fast.Iterations != circ.Iterations || fast.OracleCalls != circ.OracleCalls {
+		t.Fatalf("fast %+v vs circuit %+v", fast, circ)
+	}
+	for i := range fast.Set {
+		if fast.Set[i] != circ.Set[i] {
+			t.Fatalf("sets differ: %v vs %v", fast.Set, circ.Set)
+		}
+	}
+}

@@ -81,7 +81,7 @@ func AnnealInput(d graph.Dataset) *graph.Graph {
 // shots·n), not O(shots·2^n).
 func Fig9(cfg Config) (Result, error) {
 	g := graph.Example6()
-	orc, err := oracle.Build(g, 2, 4)
+	orc, err := oracle.BuildOpts(g, 2, 4, oracle.Options{FastPath: true})
 	if err != nil {
 		return Result{}, err
 	}

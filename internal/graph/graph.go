@@ -9,6 +9,7 @@ package graph
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/bitvec"
@@ -188,17 +189,40 @@ func (g *Graph) InducedSubgraph(set []int) (*Graph, []int) {
 }
 
 // CommonNeighbors returns |N(u) ∩ N(v)| (the number of triangles through
-// edge {u,v} when the edge exists).
+// edge {u,v} when the edge exists). Computed as popcount(adj[u] ∧ adj[v]):
+// the rows have no self-loop bits, so u and v exclude themselves from the
+// intersection automatically.
 func (g *Graph) CommonNeighbors(u, v int) int {
 	g.checkVertex(u)
 	g.checkVertex(v)
-	c := 0
-	for w := 0; w < g.n; w++ {
-		if w != u && w != v && g.adj[u].Get(w) && g.adj[v].Get(w) {
-			c++
-		}
+	return g.adj[u].AndCount(g.adj[v])
+}
+
+// checkMaskWidth guards every mask-convention entry point: subset masks
+// are single uint64 words, so the ket encoding only exists for n ≤ 64.
+func checkMaskWidth(n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("graph: mask convention requires 0 ≤ n ≤ 64, got n=%d", n))
 	}
-	return c
+}
+
+// NeighborMask returns v's adjacency row as a subset mask in the paper's
+// ket convention (bit n-1-u set iff {v,u} ∈ E) — the word the semantic
+// oracle fast path popcounts against subset masks. Panics if n > 64.
+func (g *Graph) NeighborMask(v int) uint64 {
+	g.checkVertex(v)
+	checkMaskWidth(g.n)
+	// adj[v] stores neighbour u at bit u of word 0; reversing the word
+	// moves it to bit 63-u, and dropping the 64-n padding lands it at the
+	// ket position n-1-u.
+	return bits.Reverse64(g.adj[v].Word(0)) >> uint(64-g.n)
+}
+
+// InducedDegreeMask is InducedDegree for a mask-encoded subset: it returns
+// |N(v) ∩ set| with one popcount (v's own bit never contributes — rows
+// carry no self-loops). Panics if n > 64.
+func (g *Graph) InducedDegreeMask(v int, mask uint64) int {
+	return bits.OnesCount64(g.NeighborMask(v) & mask)
 }
 
 // MaskSubset interprets bits 0..n-1 of mask as vertex membership (bit i set
@@ -206,8 +230,10 @@ func (g *Graph) CommonNeighbors(u, v int) int {
 // convention the gate-based simulator uses: paper state |v1 v2 ... vn> has
 // v1 as the most significant bit; we store v_i at bit position n-1-i so
 // integer values printed in the paper (e.g. |100100> = |36| = {v1,v4})
-// decode identically.
+// decode identically. The encoding is a single uint64, so n ≤ 64 is an
+// explicit precondition (the shifts below would otherwise be undefined).
 func MaskSubset(mask uint64, n int) []int {
+	checkMaskWidth(n)
 	out := []int{}
 	for i := 0; i < n; i++ {
 		if mask&(1<<uint(n-1-i)) != 0 {
@@ -217,8 +243,10 @@ func MaskSubset(mask uint64, n int) []int {
 	return out
 }
 
-// SubsetMask is the inverse of MaskSubset.
+// SubsetMask is the inverse of MaskSubset. Like MaskSubset it requires
+// n ≤ 64 and panics otherwise.
 func SubsetMask(set []int, n int) uint64 {
+	checkMaskWidth(n)
 	var mask uint64
 	for _, v := range set {
 		if v < 0 || v >= n {

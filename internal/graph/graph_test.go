@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -170,5 +172,106 @@ func TestClone(t *testing.T) {
 	}
 	if g.M() == c.M() {
 		t.Error("edge counts should differ after mutation")
+	}
+}
+
+func TestCommonNeighborsMatchesScan(t *testing.T) {
+	// The popcount implementation must agree with the definitional scan.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(70) // crosses the single-word boundary
+		g := Gnp(n, 0.4, rng.Int63())
+		for rep := 0; rep < 20; rep++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			want := 0
+			for w := 0; w < n; w++ {
+				if w != u && w != v && g.HasEdge(u, w) && g.HasEdge(v, w) {
+					want++
+				}
+			}
+			if got := g.CommonNeighbors(u, v); got != want {
+				t.Fatalf("n=%d CommonNeighbors(%d,%d) = %d, want %d", n, u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestNeighborMaskKetConvention(t *testing.T) {
+	g := Example6()
+	for v := 0; v < g.N(); v++ {
+		if got, want := g.NeighborMask(v), SubsetMask(g.Neighbors(v), g.N()); got != want {
+			t.Errorf("NeighborMask(%d) = %06b, want %06b", v, got, want)
+		}
+	}
+	// Full-width case: n = 64 must not shift out of range.
+	big := New(64)
+	big.AddEdge(0, 63)
+	if got := big.NeighborMask(0); got != 1 {
+		t.Errorf("n=64 NeighborMask(0) = %#x, want 1 (vertex 63 at bit 0)", got)
+	}
+	if got := big.NeighborMask(63); got != 1<<63 {
+		t.Errorf("n=64 NeighborMask(63) = %#x, want bit 63 (vertex 0)", got)
+	}
+}
+
+func TestInducedDegreeMaskMatchesInducedDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(10)
+		g := Gnp(n, 0.5, rng.Int63())
+		for mask := uint64(0); mask < 1<<uint(n); mask++ {
+			set := MaskSubset(mask, n)
+			for v := 0; v < n; v++ {
+				if got, want := g.InducedDegreeMask(v, mask), g.InducedDegree(v, set); got != want {
+					t.Fatalf("n=%d v=%d mask=%b: mask degree %d, set degree %d", n, v, mask, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMaskConventionRejectsWideGraphs(t *testing.T) {
+	for name, call := range map[string]func(){
+		"MaskSubset": func() { MaskSubset(0, 65) },
+		"SubsetMask": func() { SubsetMask(nil, 65) },
+		"NeighborMask": func() {
+			g := New(65)
+			g.NeighborMask(0)
+		},
+		"IsKPlexMask": func() { New(65).IsKPlexMask(0, 1) },
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%s accepted n=65 without panicking", name)
+					return
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.HasPrefix(msg, "graph: ") {
+					t.Errorf("%s panic %v lacks the package prefix", name, r)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+func TestIsKPlexMaskMatchesSetForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 12; trial++ {
+		n := 3 + rng.Intn(9)
+		g := Gnp(n, 0.45, rng.Int63())
+		for k := 1; k <= 3; k++ {
+			for mask := uint64(0); mask < 1<<uint(n); mask++ {
+				want := g.IsKPlex(MaskSubset(mask, n), k)
+				if got := g.IsKPlexMask(mask, k); got != want {
+					t.Fatalf("n=%d k=%d mask=%b: mask form %v, set form %v", n, k, mask, got, want)
+				}
+			}
+		}
+	}
+	if New(3).IsKPlexMask(0b101, 0) {
+		t.Error("k=0 accepted")
 	}
 }

@@ -1,5 +1,7 @@
 package graph
 
+import "math/bits"
+
 // IsKPlex reports whether set is a k-plex in g: every v ∈ set has at least
 // |set|-k neighbours inside set. Following Definition 1, the empty set and
 // any single vertex are k-plexes for every k ≥ 1.
@@ -32,9 +34,23 @@ func (g *Graph) IsKCplex(set []int, k int) bool {
 }
 
 // IsKPlexMask is IsKPlex for a bitmask-encoded subset (paper's ket
-// convention; see MaskSubset).
+// convention; see MaskSubset). It runs on packed adjacency words — one
+// popcount per member instead of a decoded set walk — which is what makes
+// mask-space sweeps (Naive, the semantic oracle fast path) cheap.
 func (g *Graph) IsKPlexMask(mask uint64, k int) bool {
-	return g.IsKPlex(MaskSubset(mask, g.n), k)
+	if k < 1 {
+		return false
+	}
+	checkMaskWidth(g.n)
+	mask &= ^uint64(0) >> uint(64-g.n) // stray high bits never named vertices
+	s := bits.OnesCount64(mask)
+	for m := mask; m != 0; m &= m - 1 {
+		v := g.n - 1 - bits.TrailingZeros64(m)
+		if bits.OnesCount64(g.NeighborMask(v)&mask) < s-k {
+			return false
+		}
+	}
+	return true
 }
 
 // CountKPlexesOfSize returns the number of k-plexes with exactly size T and

@@ -6,8 +6,11 @@ package kplex
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
+	"repro/internal/bitvec"
+	"repro/internal/fastoracle"
 	"repro/internal/graph"
 )
 
@@ -19,7 +22,11 @@ type Result struct {
 }
 
 // Naive finds a maximum k-plex by scanning all 2^n subsets. Ground truth
-// for tests and tiny instances; refuses n > 25.
+// for tests and tiny instances; refuses n > 25. The per-mask check runs
+// through the semantic fast-path evaluator — O(|mask|) popcounts over
+// packed complement rows instead of a decoded-set IsKPlex walk — but the
+// scan order and tie-breaking (lowest qualifying mask per size) are
+// exactly those of the original subset sweep.
 func Naive(g *graph.Graph, k int) (Result, error) {
 	n := g.N()
 	if n > 25 {
@@ -28,16 +35,29 @@ func Naive(g *graph.Graph, k int) (Result, error) {
 	if k < 1 {
 		return Result{}, fmt.Errorf("kplex: k=%d must be ≥ 1", k)
 	}
-	var best []int
+	if n == 0 {
+		return Result{Nodes: 1}, nil
+	}
+	// k beyond n never constrains (deg ≥ |S|-k is vacuous), and the
+	// evaluator wants k ≤ n.
+	kEff := k
+	if kEff > n {
+		kEff = n
+	}
+	e, err := fastoracle.New(g, kEff)
+	if err != nil {
+		return Result{}, fmt.Errorf("kplex: %w", err)
+	}
+	var bestMask uint64
+	bestSize := 0
 	var nodes int64
 	for mask := uint64(0); mask < 1<<uint(n); mask++ {
 		nodes++
-		set := graph.MaskSubset(mask, n)
-		if len(set) > len(best) && g.IsKPlex(set, k) {
-			best = set
+		if s := bits.OnesCount64(mask); s > bestSize && e.KPlexMask(mask) {
+			bestMask, bestSize = mask, s
 		}
 	}
-	return Result{Set: best, Size: len(best), Nodes: nodes}, nil
+	return Result{Set: graph.MaskSubset(bestMask, n), Size: bestSize, Nodes: nodes}, nil
 }
 
 // bsState carries the branch-and-search context.
@@ -185,34 +205,66 @@ func MaxKPlex(g *graph.Graph, k int) (Result, error) {
 }
 
 // Greedy builds a k-plex by repeated best-candidate insertion from every
-// possible seed vertex and returns the largest found. Deterministic.
+// possible seed vertex and returns the largest found. Deterministic, and
+// bit-identical to the definitional rebuild-and-recheck formulation (kept
+// as greedyReference in the tests): membership lives in a bitset, induced
+// degrees are maintained incrementally, and the per-candidate feasibility
+// test uses the k-plex growth invariant — P ∪ {v} stays a k-plex iff
+// deg_P(v) ≥ |P|+1-k and every member already at its deficiency budget
+// (deg_P(u) = |P|-k) is adjacent to v — so a probe costs O(|critical|)
+// instead of an O(|P|²) IsKPlex rescan on a freshly copied slice.
 func Greedy(g *graph.Graph, k int) []int {
 	n := g.N()
-	var best []int
+	member := bitvec.New(n)
+	degS := make([]int, n)
+	var set, critical, best []int
 	for seed := 0; seed < n; seed++ {
-		set := []int{seed}
+		member.Clear()
+		for i := range degS {
+			degS[i] = 0
+		}
+		set = append(set[:0], seed)
+		member.Set(seed, true)
+		for _, u := range g.Neighbors(seed) {
+			degS[u]++
+		}
 		for {
+			s := len(set)
+			critical = critical[:0]
+			for _, u := range set {
+				if degS[u] == s-k {
+					critical = append(critical, u)
+				}
+			}
 			bestV, bestGain := -1, -1
 			for v := 0; v < n; v++ {
-				if contains(set, v) {
+				if member.Get(v) || degS[v] < s+1-k {
 					continue
 				}
-				cand := append(append([]int{}, set...), v)
-				if !g.IsKPlex(cand, k) {
-					continue
+				ok := true
+				for _, u := range critical {
+					if !g.HasEdge(u, v) {
+						ok = false
+						break
+					}
 				}
-				gain := g.InducedDegree(v, set)
-				if gain > bestGain {
-					bestV, bestGain = v, gain
+				// degS[v] is exactly InducedDegree(v, set): the insertion
+				// gain of the reference formulation.
+				if ok && degS[v] > bestGain {
+					bestV, bestGain = v, degS[v]
 				}
 			}
 			if bestV < 0 {
 				break
 			}
 			set = append(set, bestV)
+			member.Set(bestV, true)
+			for _, u := range g.Neighbors(bestV) {
+				degS[u]++
+			}
 		}
 		if len(set) > len(best) {
-			best = set
+			best = append(best[:0], set...)
 		}
 	}
 	sort.Ints(best)

@@ -2,6 +2,7 @@ package kplex
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/graph"
@@ -159,4 +160,116 @@ func TestBSPrunesVsNaive(t *testing.T) {
 	if bs.Nodes >= naive.Nodes {
 		t.Errorf("BS expanded %d nodes, naive scanned %d — no pruning?", bs.Nodes, naive.Nodes)
 	}
+}
+
+// greedyReference is the definitional formulation Greedy replaced: per
+// probe it copies the set, appends the candidate, and re-checks the
+// whole thing with IsKPlex. Kept verbatim as the equivalence target —
+// Greedy must reproduce its output bit for bit, not just its sizes.
+func greedyReference(g *graph.Graph, k int) []int {
+	n := g.N()
+	var best []int
+	for seed := 0; seed < n; seed++ {
+		set := []int{seed}
+		for {
+			bestV, bestGain := -1, -1
+			for v := 0; v < n; v++ {
+				inSet := false
+				for _, x := range set {
+					if x == v {
+						inSet = true
+						break
+					}
+				}
+				if inSet {
+					continue
+				}
+				cand := append(append([]int{}, set...), v)
+				if !g.IsKPlex(cand, k) {
+					continue
+				}
+				gain := g.InducedDegree(v, set)
+				if gain > bestGain {
+					bestV, bestGain = v, gain
+				}
+			}
+			if bestV < 0 {
+				break
+			}
+			set = append(set, bestV)
+		}
+		if len(set) > len(best) {
+			best = set
+		}
+	}
+	sort.Ints(best)
+	return best
+}
+
+func TestGreedyMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(16)
+		g := graph.Gnp(n, 0.15+rng.Float64()*0.7, rng.Int63())
+		for k := 1; k <= 4; k++ {
+			want := greedyReference(g, k)
+			got := Greedy(g, k)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: Greedy %v, reference %v", n, k, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d k=%d: Greedy %v, reference %v", n, k, got, want)
+				}
+			}
+		}
+	}
+	if got := Greedy(graph.New(0), 2); len(got) != 0 {
+		t.Errorf("empty graph: Greedy = %v, want empty", got)
+	}
+}
+
+func TestNaiveMatchesSetSweep(t *testing.T) {
+	// The fast-path Naive must pick the same mask (not just the same
+	// size) as the original decoded-set sweep, including k > n.
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(10)
+		g := graph.Gnp(n, 0.4, rng.Int63())
+		for _, k := range []int{1, 2, 3, n + 2} {
+			var want []int
+			for mask := uint64(0); mask < 1<<uint(n); mask++ {
+				set := graph.MaskSubset(mask, n)
+				if len(set) > len(want) && g.IsKPlex(set, k) {
+					want = set
+				}
+			}
+			got, err := Naive(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Size != len(want) {
+				t.Fatalf("n=%d k=%d: Naive size %d, sweep %d", n, k, got.Size, len(want))
+			}
+			for i := range want {
+				if got.Set[i] != want[i] {
+					t.Fatalf("n=%d k=%d: Naive %v, sweep %v", n, k, got.Set, want)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	g := graph.Gnm(64, 600, 5)
+	b.Run("bitset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Greedy(g, 2)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			greedyReference(g, 2)
+		}
+	})
 }

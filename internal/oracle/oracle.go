@@ -27,6 +27,7 @@ import (
 	"math/rand"
 
 	"repro/internal/bitvec"
+	"repro/internal/fastoracle"
 	"repro/internal/graph"
 	"repro/internal/parallel"
 	"repro/internal/qarith"
@@ -54,6 +55,13 @@ type Oracle struct {
 	outQ    int   // wire: cplexQ ∧ sizeQ (the bit that drives the |O> flip)
 	fwdEnd  int   // gate index ending U_check (inverse follows)
 
+	// fast is the semantic fast path (popcounts over packed
+	// complement-adjacency words, see internal/fastoracle); non-nil only
+	// when Options.FastPath requested it. The compiled circuit above is
+	// retained either way — it stays the gate-count/qubit-count ground
+	// truth, and the differential tests pin the two paths to each other.
+	fast *fastoracle.Evaluator
+
 	scratch *bitvec.Vector
 }
 
@@ -75,6 +83,15 @@ type Options struct {
 	// StrictSamples bounds the number of sampled basis states in strict
 	// mode (0 means the default of strictSampleBudget).
 	StrictSamples int
+
+	// FastPath makes Marked and TruthTable answer the oracle predicate
+	// semantically — popcount(adjComp[v] & mask) ≤ k-1 per member plus
+	// popcount(mask) ≥ T over packed complement-adjacency words
+	// (internal/fastoracle) — instead of replaying the compiled circuit:
+	// O(|mask|) word operations per evaluation instead of O(gates). The
+	// circuit is still compiled, linted and available (MarkedCircuit,
+	// MarkedStrict, gate accounting); requires n ≤ 64.
+	FastPath bool
 }
 
 // strictSampleBudget is the default number of basis states strict mode
@@ -196,6 +213,13 @@ func BuildOpts(g *graph.Graph, k, T int, opts Options) (*Oracle, error) {
 	if issues := qsim.LintCircuit(c, lintOpts); len(issues) > 0 {
 		return nil, fmt.Errorf("oracle: compiled circuit fails lint: %v", issues[0])
 	}
+	if opts.FastPath {
+		fast, err := fastoracle.New(g, k)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: fast path unavailable: %w", err)
+		}
+		o.fast = fast
+	}
 	if opts.Strict {
 		samples := opts.StrictSamples
 		if samples <= 0 {
@@ -213,7 +237,8 @@ func BuildOpts(g *graph.Graph, k, T int, opts Options) (*Oracle, error) {
 // corners, every single-vertex state, and up to extra further
 // pseudorandom masks — and verifies the paper's reset contract on each:
 // ancillae back to |0>, vertex register unchanged, output qubit agreeing
-// with the fast-path predicate.
+// with the forward-execution predicate and, when Options.FastPath is
+// enabled, with the semantic fast path.
 func (o *Oracle) VerifyResetContract(extra int) error {
 	all := uint64(1)<<uint(o.N) - 1
 	masks := []uint64{0, all}
@@ -239,8 +264,12 @@ func (o *Oracle) VerifyResetContract(extra int) error {
 					errs[idx] = fmt.Errorf("oracle: reset contract violated on |%0*b>: %w", o.N, mask, err)
 					continue
 				}
-				if fast := o.markedInto(st, mask); fast != strict {
-					errs[idx] = fmt.Errorf("oracle: fast path disagrees with strict path on |%0*b>: %v vs %v", o.N, mask, fast, strict)
+				if fwd := o.markedInto(st, mask); fwd != strict {
+					errs[idx] = fmt.Errorf("oracle: forward circuit path disagrees with strict path on |%0*b>: %v vs %v", o.N, mask, fwd, strict)
+					continue
+				}
+				if o.fast != nil && o.fast.Marked(mask, o.T) != strict {
+					errs[idx] = fmt.Errorf("oracle: semantic fast path disagrees with strict path on |%0*b>", o.N, mask)
 				}
 			}
 		})
@@ -266,16 +295,29 @@ func (o *Oracle) setVertexMask(st *bitvec.Vector, mask uint64) {
 	}
 }
 
-// Marked evaluates the oracle predicate for one subset mask using the fast
-// path: U_check forward only, on a clean scratch register. Not safe for
-// concurrent use — it shares the oracle's scratch register; TruthTable is
-// the concurrent bulk entry point.
+// Marked evaluates the oracle predicate for one subset mask. With the
+// semantic fast path enabled (Options.FastPath) this is a handful of
+// popcounts and safe for concurrent use; otherwise it replays U_check
+// forward on the oracle's shared scratch register and is NOT safe for
+// concurrent use — TruthTable is the concurrent bulk entry point.
 func (o *Oracle) Marked(mask uint64) bool {
+	if o.fast != nil {
+		return o.fast.Marked(mask, o.T)
+	}
 	return o.markedInto(o.scratch, mask)
 }
 
-// markedInto is Marked on a caller-supplied register (any prior contents
-// are cleared), the worker-scratch form used by the parallel sweeps.
+// MarkedCircuit evaluates the predicate by classical circuit replay
+// (U_check forward only) regardless of the fast-path setting — the
+// reference the differential tests and speedup benchmarks compare the
+// semantic path against. Not safe for concurrent use (shared scratch).
+func (o *Oracle) MarkedCircuit(mask uint64) bool {
+	return o.markedInto(o.scratch, mask)
+}
+
+// markedInto is the circuit evaluation on a caller-supplied register (any
+// prior contents are cleared), the worker-scratch form used by the
+// parallel sweeps.
 func (o *Oracle) markedInto(st *bitvec.Vector, mask uint64) bool {
 	st.Clear()
 	o.setVertexMask(st, mask)
@@ -323,11 +365,27 @@ func (o *Oracle) MarkedStrict(mask uint64) (bool, map[string]int, error) {
 // worker busy even on the 2^10-mask paper instances.
 const truthTableGrain = 8
 
-// TruthTable evaluates the oracle on all 2^n masks. Masks fan out over
-// parallel workers, each executing U_check on its own scratch register;
-// the table is bit-identical at any worker count.
+// fastTableGrain chunks the semantic sweep: one evaluation is a few
+// popcounts, so chunks are three orders of magnitude coarser than the
+// circuit sweep's.
+const fastTableGrain = 1 << 12
+
+// TruthTable evaluates the oracle on all 2^n masks. With the semantic
+// fast path enabled the sweep is pure word arithmetic; otherwise each
+// mask executes U_check on a per-worker scratch register. Either way the
+// masks fan out over the parallel pool and the table is bit-identical at
+// any worker count (and across the two paths — the differential tests'
+// contract).
 func (o *Oracle) TruthTable() []bool {
 	tt := make([]bool, 1<<uint(o.N))
+	if o.fast != nil {
+		parallel.For(len(tt), fastTableGrain, func(lo, hi int) {
+			for mask := lo; mask < hi; mask++ {
+				tt[mask] = o.fast.Marked(uint64(mask), o.T)
+			}
+		})
+		return tt
+	}
 	parallel.ForScratch(len(tt), truthTableGrain,
 		func() *bitvec.Vector { return bitvec.New(o.circuit.NumQubits()) },
 		func(st *bitvec.Vector, lo, hi int) {
@@ -337,6 +395,11 @@ func (o *Oracle) TruthTable() []bool {
 		})
 	return tt
 }
+
+// Fast exposes the semantic evaluator when Options.FastPath enabled it
+// (nil otherwise) — qMKP's binary search reuses it to build the
+// cross-threshold cplex table once and share it across probes.
+func (o *Oracle) Fast() *fastoracle.Evaluator { return o.fast }
 
 // TotalGates returns the gate count of one full oracle call
 // (U_check + flip + U_check†), the unit of the paper's time complexity.

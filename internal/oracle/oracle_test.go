@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/qsim"
 )
 
 func TestOracleMatchesClassicalPredicateExample(t *testing.T) {
@@ -244,5 +245,84 @@ func TestTruthTableDeterministicAcrossWorkers(t *testing.T) {
 		if err := o.VerifyResetContract(16); err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}
+	}
+}
+
+func TestFastPathMatchesCircuitExhaustive(t *testing.T) {
+	// Acceptance criterion: the semantic fast path must be bit-identical
+	// to the circuit truth table on exhaustive sweeps up to n = 12, with
+	// and without the compact counting variant underneath.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 6; trial++ {
+		n := 6 + rng.Intn(7) // 6..12
+		g := graph.Gnp(n, 0.3+rng.Float64()*0.4, rng.Int63())
+		k := 1 + rng.Intn(3)
+		T := 1 + rng.Intn(n)
+		compact := trial%2 == 1
+		circuit, err := BuildOpts(g, k, T, Options{CompactCounting: compact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := BuildOpts(g, k, T, Options{FastPath: true, CompactCounting: compact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Fast() == nil {
+			t.Fatal("FastPath build did not install the semantic evaluator")
+		}
+		ctt, ftt := circuit.TruthTable(), fast.TruthTable()
+		for mask := range ctt {
+			if ctt[mask] != ftt[mask] {
+				t.Fatalf("n=%d k=%d T=%d mask=%b: circuit table %v, fast table %v",
+					n, k, T, mask, ctt[mask], ftt[mask])
+			}
+			if got, want := fast.Marked(uint64(mask)), fast.MarkedCircuit(uint64(mask)); got != want {
+				t.Fatalf("n=%d k=%d T=%d mask=%b: fast Marked %v, circuit replay %v",
+					n, k, T, mask, got, want)
+			}
+		}
+	}
+}
+
+func TestFastPathTruthTableDeterministicAcrossWorkers(t *testing.T) {
+	g := graph.Gnm(12, 30, 7)
+	o, err := BuildOpts(g, 2, 4, Options{FastPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	want := o.TruthTable()
+	for _, w := range []int{2, 8} {
+		parallel.SetWorkers(w)
+		got := o.TruthTable()
+		for mask := range want {
+			if got[mask] != want[mask] {
+				t.Fatalf("workers=%d: fast truth table differs at mask %b", w, mask)
+			}
+		}
+	}
+}
+
+func TestFastPathCircuitStaysReversible(t *testing.T) {
+	// Enabling the fast path must not change what gets compiled: the full
+	// reversible circuit is still built, still lint-clean, and still
+	// satisfies the reset contract (which now cross-checks the semantic
+	// path against strict replay on every probed mask).
+	o, err := BuildOpts(graph.Example6(), 2, 4, Options{FastPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	issues := qsim.LintCircuit(o.Circuit(), qsim.LintOptions{
+		ReversibleBlocks: []string{BlockEncoding, BlockDegreeCount, BlockDegreeCompare, BlockSizeCheck},
+	})
+	for _, is := range issues {
+		t.Errorf("lint: %s", is)
+	}
+	if o.TotalGates() == 0 {
+		t.Error("fast-path build compiled no circuit")
+	}
+	if err := o.VerifyResetContract(32); err != nil {
+		t.Error(err)
 	}
 }
