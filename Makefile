@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt-check vet lint test race bench-smoke bench-json fuzz-smoke ci
+.PHONY: build fmt-check vet lint lint-json test race bench-smoke bench-json fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,20 @@ vet:
 	$(GO) vet ./...
 
 # The repo's own analyzers (see internal/analysis): panic prefixes,
-# seeded randomness, float comparisons, dropped module errors.
+# seeded randomness, float comparisons, dropped module errors, map
+# iteration order, pool-only concurrency, wall-clock isolation, plus the
+# cross-package module passes (oracle purity over the call graph, stale
+# //lint:allow audit). Type-check errors fail the run; -lenient degrades
+# them to warnings.
 lint:
 	$(GO) run ./cmd/repro-lint ./...
+
+# Same run, rendered as the machine-readable findings document CI
+# archives. Exit status is preserved, so the artifact exists even when
+# the gate fails (`-` on the recipe would hide real findings).
+lint-json:
+	$(GO) run ./cmd/repro-lint -json ./... > REPRO_LINT.json; \
+	status=$$?; cat REPRO_LINT.json; exit $$status
 
 test:
 	$(GO) test ./...

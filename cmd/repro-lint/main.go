@@ -1,22 +1,30 @@
 // Command repro-lint runs the repository's custom static analyzers (see
-// internal/analysis) over the whole module and prints findings as
+// internal/analysis) over the whole module: the per-package suite plus
+// the cross-package module passes (purity over the call graph, allowaudit
+// over the //lint:allow directives). Findings print as
 //
 //	file:line: [analyzer] message
 //
-// It exits 1 when any finding is reported and 2 on load failure, so it
-// can gate CI. Package patterns on the command line are accepted for
-// familiarity (`repro-lint ./...`) but the tool always analyzes the
-// module containing the working directory.
+// or, with -json, as one machine-readable document on stdout (the CI
+// artifact). It exits 1 when any finding is reported and 2 on load or
+// type-check failure, so it can gate CI. Type errors fail the run — an
+// analyzer skipped because a package didn't type-check is a silent pass
+// — unless -lenient downgrades them to warnings. Package patterns on the
+// command line are accepted for familiarity (`repro-lint ./...`) but the
+// tool always analyzes the module containing the working directory.
 //
-//	repro-lint ./...        # lint the whole module
-//	repro-lint -list        # describe the analyzers
+//	repro-lint ./...          # lint the whole module
+//	repro-lint -json ./...    # machine-readable findings
+//	repro-lint -list          # describe the analyzers
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/analysis"
 )
@@ -24,7 +32,9 @@ import (
 func main() {
 	var (
 		list    = flag.Bool("list", false, "list the analyzers and exit")
-		verbose = flag.Bool("v", false, "also print type-check warnings")
+		verbose = flag.Bool("v", false, "also print type-check warnings (implied unless -lenient)")
+		jsonOut = flag.Bool("json", false, "print findings as JSON on stdout")
+		lenient = flag.Bool("lenient", false, "degrade type-check errors to warnings instead of failing")
 	)
 	flag.Parse()
 
@@ -32,42 +42,110 @@ func main() {
 		for _, a := range analysis.All() {
 			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
 		}
+		for _, a := range analysis.AllModule() {
+			fmt.Printf("%-12s %s (module pass)\n", a.Name(), a.Doc())
+		}
 		return
 	}
 
 	root, err := findModuleRoot()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "repro-lint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	loader, err := analysis.NewLoader(root, "")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "repro-lint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	pkgs, err := loader.LoadAll()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "repro-lint:", err)
+		fatal(err)
+	}
+
+	typeErrs := sortedTypeErrors(loader.TypeErrors())
+	if len(typeErrs) > 0 && (!*lenient || *verbose) {
+		for _, line := range typeErrs {
+			fmt.Fprintf(os.Stderr, "repro-lint: type error: %s\n", line)
+		}
+	}
+
+	diags := analysis.RunAll(pkgs, analysis.All(), analysis.AllModule())
+	for i := range diags {
+		if rel, err := filepath.Rel(".", diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = rel
+		}
+	}
+
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, loader.ModPath, diags, typeErrs); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+
+	switch {
+	case len(typeErrs) > 0 && !*lenient:
+		fmt.Fprintf(os.Stderr, "repro-lint: %d type error(s); analyzers need sound types — fix them or pass -lenient\n", len(typeErrs))
 		os.Exit(2)
-	}
-	if *verbose {
-		for path, errs := range loader.TypeErrors() {
-			for _, e := range errs {
-				fmt.Fprintf(os.Stderr, "repro-lint: %s: type warning: %v\n", path, e)
-			}
-		}
-	}
-	diags := analysis.Run(pkgs, analysis.All())
-	for _, d := range diags {
-		if rel, err := filepath.Rel(".", d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
-		}
-		fmt.Println(d)
-	}
-	if len(diags) > 0 {
+	case len(diags) > 0:
 		fmt.Fprintf(os.Stderr, "repro-lint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// jsonReport is the -json document shape: stable field names, findings
+// pre-sorted by position (the order RunAll emits).
+type jsonReport struct {
+	Module     string        `json:"module"`
+	Findings   []jsonFinding `json:"findings"`
+	TypeErrors []string      `json:"typeErrors"`
+	Count      int           `json:"count"`
+}
+
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w *os.File, module string, diags []analysis.Diagnostic, typeErrs []string) error {
+	rep := jsonReport{Module: module, Findings: []jsonFinding{}, TypeErrors: typeErrs, Count: len(diags)}
+	if typeErrs == nil {
+		rep.TypeErrors = []string{}
+	}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// sortedTypeErrors flattens the per-package type-error map into sorted
+// "package: error" lines, so output never depends on map iteration
+// order.
+func sortedTypeErrors(byPkg map[string][]error) []string {
+	var out []string
+	for path, errs := range byPkg {
+		for _, e := range errs {
+			out = append(out, fmt.Sprintf("%s: %v", path, e))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro-lint:", err)
+	os.Exit(2)
 }
 
 // findModuleRoot walks up from the working directory to the nearest

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// AllowAudit keeps the //lint:allow escape hatch honest: it reports
+// directives that no longer suppress any finding (the code they excused
+// was fixed or deleted, so the exception is stale and would silently
+// cover a future regression), directives naming an unknown analyzer
+// (typos silence nothing), and directives without a reason string (every
+// exception must say why). It must run after every other analyzer in the
+// module pass, because "used" means "suppressed a finding this run".
+type AllowAudit struct{}
+
+// Name implements ModuleAnalyzer.
+func (AllowAudit) Name() string { return "allowaudit" }
+
+// Doc implements ModuleAnalyzer.
+func (AllowAudit) Doc() string {
+	return "//lint:allow directives must name a known analyzer, carry a reason, and still suppress something"
+}
+
+// knownAnalyzers lists every analyzer name a directive may reference.
+func knownAnalyzers() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range All() {
+		names[a.Name()] = true
+	}
+	for _, a := range AllModule() {
+		names[a.Name()] = true
+	}
+	return names
+}
+
+// CheckModule implements ModuleAnalyzer.
+func (a AllowAudit) CheckModule(m *Module) []Diagnostic {
+	known := knownAnalyzers()
+	var out []Diagnostic
+	for _, pkg := range m.Pkgs {
+		for _, dir := range pkg.directives {
+			if strings.HasSuffix(dir.file, "_test.go") {
+				continue // analyzers don't inspect test files
+			}
+			pos := token.Position{Filename: dir.file, Line: dir.line}
+			if !known[dir.analyzer] {
+				out = append(out, Diagnostic{Pos: pos, Analyzer: a.Name(),
+					Message: "//lint:allow names unknown analyzer " + dir.analyzer + "; it suppresses nothing"})
+				continue
+			}
+			if dir.reason == "" {
+				out = append(out, Diagnostic{Pos: pos, Analyzer: a.Name(),
+					Message: "//lint:allow " + dir.analyzer + " lacks a reason; every exception must say why"})
+			}
+			if !dir.used {
+				out = append(out, Diagnostic{Pos: pos, Analyzer: a.Name(),
+					Message: "stale //lint:allow " + dir.analyzer + ": no finding left to suppress; remove it"})
+			}
+		}
+	}
+	return out
+}

@@ -2,19 +2,32 @@
 // a small loader/driver framework (go/parser + go/types, stdlib only) and
 // the custom analyzers that encode this codebase's conventions — panic
 // message prefixes, injected seeded randomness, no exact float
-// comparisons in the numeric packages, and no silently dropped module
-// errors. cmd/repro-lint is the command-line driver; the analyzers are
-// also exercised by fixture tests under testdata/src.
+// comparisons in the numeric packages, no silently dropped module errors,
+// and the determinism contracts of DESIGN.md §5–§7 (map iteration order,
+// worker-pool-only concurrency, wall-clock isolation, oracle purity).
+// cmd/repro-lint is the command-line driver; the analyzers are also
+// exercised by fixture tests under testdata/src.
 //
-// The framework is deliberately analysistest-shaped but much smaller:
-// an Analyzer inspects one type-checked Package at a time and reports
-// Diagnostics; a finding can be suppressed at a specific line with a
+// The framework is deliberately analysistest-shaped but much smaller,
+// and runs in two passes:
+//
+//  1. Per-package: an Analyzer inspects one type-checked Package at a
+//     time and reports Diagnostics. Analyzers that implement
+//     FactExporter additionally record Facts about a package's symbols
+//     in a FactStore before any diagnostics are produced.
+//  2. Module: after every package has loaded, a ModuleAnalyzer sees the
+//     whole module at once — all packages, the exported facts, and a
+//     static CallGraph — so it can reason interprocedurally (purity) or
+//     about the analysis itself (allowaudit).
+//
+// A finding can be suppressed at a specific line with a
 //
 //	//lint:allow <analyzer> <reason>
 //
 // comment on the flagged line (or the line above it), which keeps the
 // analyzers strict while documenting every intentional exception in the
-// source itself.
+// source itself. The allowaudit pass reports directives that no longer
+// suppress anything, so exceptions cannot rot in place.
 package analysis
 
 import (
@@ -59,13 +72,25 @@ type Package struct {
 	Types     *types.Package
 	TypesInfo *types.Info
 
-	allows map[allowKey]bool
+	allows     map[allowKey]*allowDirective
+	directives []*allowDirective
 }
 
 type allowKey struct {
 	file     string
 	line     int
 	analyzer string
+}
+
+// allowDirective is one //lint:allow comment: where it stands, which
+// analyzer it silences, the reason text after the analyzer name, and
+// whether it actually suppressed a finding during the current run.
+type allowDirective struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	used     bool
 }
 
 // Analyzer inspects one package and reports diagnostics.
@@ -75,28 +100,107 @@ type Analyzer interface {
 	Check(pkg *Package) []Diagnostic
 }
 
-// All returns the full analyzer suite in output order.
+// Module is everything a ModuleAnalyzer sees: the loaded packages
+// (sorted by import path), the facts exported during the per-package
+// pass, and the static call graph over the whole module.
+type Module struct {
+	Pkgs  []*Package
+	Facts *FactStore
+	Graph *CallGraph
+}
+
+// ModuleAnalyzer runs once after every package has loaded, with
+// cross-package context.
+type ModuleAnalyzer interface {
+	Name() string
+	Doc() string
+	CheckModule(m *Module) []Diagnostic
+}
+
+// FactExporter is implemented by analyzers (package- or module-level)
+// that record facts about a package's symbols for later consumption by
+// module analyzers. Exports run for every package before any
+// diagnostics are produced.
+type FactExporter interface {
+	ExportFacts(pkg *Package, facts *FactStore)
+}
+
+// All returns the per-package analyzer suite in output order.
 func All() []Analyzer {
 	return []Analyzer{
 		PanicMsg{},
 		SeededRand{},
 		FloatCmp{},
 		ErrRet{},
+		MapOrder{},
+		RawGo{},
+		WallTime{},
 	}
 }
 
-// Run applies every analyzer to every package, drops suppressed findings,
-// and returns the remainder sorted by position.
+// AllModule returns the module-level analyzer suite. AllowAudit must run
+// last: it reports //lint:allow directives left unused by everything
+// before it.
+func AllModule() []ModuleAnalyzer {
+	return []ModuleAnalyzer{
+		DefaultPurity(),
+		AllowAudit{},
+	}
+}
+
+// Run applies every per-package analyzer to every package, drops
+// suppressed findings, and returns the remainder sorted by position.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	return RunAll(pkgs, analyzers, nil)
+}
+
+// RunAll is the full two-pass driver: facts are exported for every
+// package, per-package analyzers run over packages in import-path order,
+// module analyzers run once over the assembled Module, suppressed
+// findings are dropped (and the directives that suppressed them marked
+// used, which AllowAudit inspects), and the remainder is sorted by
+// position. The result is independent of the order pkgs was supplied in.
+func RunAll(pkgs []*Package, analyzers []Analyzer, moduleAnalyzers []ModuleAnalyzer) []Diagnostic {
+	sorted := sortedByPath(pkgs)
+	byFile := make(map[string]*Package)
+	for _, p := range sorted {
+		p.resetAllowUsage()
+		for _, f := range p.Files {
+			byFile[f.Name] = p
+		}
+	}
+	m := &Module{Pkgs: sorted, Facts: NewFactStore(), Graph: BuildCallGraph(sorted)}
+	for _, a := range analyzers {
+		if fe, ok := a.(FactExporter); ok {
+			for _, p := range sorted {
+				fe.ExportFacts(p, m.Facts)
+			}
+		}
+	}
+	for _, a := range moduleAnalyzers {
+		if fe, ok := a.(FactExporter); ok {
+			for _, p := range sorted {
+				fe.ExportFacts(p, m.Facts)
+			}
+		}
+	}
 	var out []Diagnostic
-	for _, pkg := range pkgs {
+	emit := func(d Diagnostic) {
+		if p := byFile[d.Pos.Filename]; p != nil && p.allowed(d) {
+			return
+		}
+		out = append(out, d)
+	}
+	for _, pkg := range sorted {
 		for _, a := range analyzers {
 			for _, d := range a.Check(pkg) {
-				if pkg.allowed(d) {
-					continue
-				}
-				out = append(out, d)
+				emit(d)
 			}
+		}
+	}
+	for _, a := range moduleAnalyzers {
+		for _, d := range a.CheckModule(m) {
+			emit(d)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -106,21 +210,39 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 		if out[i].Pos.Line != out[j].Pos.Line {
 			return out[i].Pos.Line < out[j].Pos.Line
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		return out[i].Message < out[j].Message
 	})
 	return out
 }
 
-// allowed reports whether a //lint:allow directive covers the diagnostic.
+// allowed reports whether a //lint:allow directive covers the
+// diagnostic, marking the directive used when it does.
 func (p *Package) allowed(d Diagnostic) bool {
-	return p.allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+	dir := p.allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+	if dir == nil {
+		return false
+	}
+	dir.used = true
+	return true
+}
+
+// resetAllowUsage clears directive usage so consecutive runs over the
+// same loaded packages stay independent.
+func (p *Package) resetAllowUsage() {
+	for _, dir := range p.directives {
+		dir.used = false
+	}
 }
 
 // collectAllows indexes every //lint:allow directive of the package. A
 // directive covers its own line and, when it stands alone on a line, the
 // line below — the two places a human would write it.
 func (p *Package) collectAllows() {
-	p.allows = make(map[allowKey]bool)
+	p.allows = make(map[allowKey]*allowDirective)
+	p.directives = nil
 	for _, f := range p.Files {
 		for _, cg := range f.AST.Comments {
 			for _, c := range cg.List {
@@ -134,10 +256,15 @@ func (p *Package) collectAllows() {
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
-				for _, name := range fields[:1] {
-					p.allows[allowKey{pos.Filename, pos.Line, name}] = true
-					p.allows[allowKey{pos.Filename, pos.Line + 1, name}] = true
+				dir := &allowDirective{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
 				}
+				p.directives = append(p.directives, dir)
+				p.allows[allowKey{pos.Filename, pos.Line, dir.analyzer}] = dir
+				p.allows[allowKey{pos.Filename, pos.Line + 1, dir.analyzer}] = dir
 			}
 		}
 	}

@@ -109,7 +109,20 @@ func TestSeededRand(t *testing.T) {
 }
 
 func TestFloatCmp(t *testing.T) {
-	checkFixture(t, FloatCmp{}, "fixture/numeric/qsim", "fixture/numeric/fastoracle")
+	checkFixture(t, FloatCmp{}, "fixture/numeric/qsim", "fixture/numeric/fastoracle",
+		"fixture/numeric/parallel", "fixture/numeric/embedding")
+}
+
+func TestMapOrder(t *testing.T) {
+	checkFixture(t, MapOrder{}, "fixture/mapfix")
+}
+
+func TestRawGo(t *testing.T) {
+	checkFixture(t, RawGo{}, "fixture/rawfix")
+}
+
+func TestWallTime(t *testing.T) {
+	checkFixture(t, WallTime{}, "fixture/timing/anneal")
 }
 
 func TestErrRet(t *testing.T) {
@@ -135,8 +148,9 @@ func TestDiagnosticFormat(t *testing.T) {
 	}
 }
 
-// TestSelfClean runs the full suite over this repository itself: the
-// merged tree must be lint-clean (the gate cmd/repro-lint enforces).
+// TestSelfClean runs the full suite — per-package analyzers AND the
+// module passes — over this repository itself: the merged tree must be
+// lint-clean (the gate cmd/repro-lint enforces).
 func TestSelfClean(t *testing.T) {
 	loader, err := NewLoader(filepath.Join("..", ".."), "")
 	if err != nil {
@@ -152,7 +166,7 @@ func TestSelfClean(t *testing.T) {
 	if len(pkgs) < 15 {
 		t.Fatalf("loaded only %d packages from the module", len(pkgs))
 	}
-	for _, d := range Run(pkgs, All()) {
+	for _, d := range RunAll(pkgs, All(), AllModule()) {
 		t.Errorf("repository not lint-clean: %s", d)
 	}
 	for path, errs := range loader.TypeErrors() {

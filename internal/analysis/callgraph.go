@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CallEdge is one static call site inside a declared function.
+type CallEdge struct {
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// CallNode is one function declaration in the analyzed module, with its
+// outgoing static call edges in source order.
+type CallNode struct {
+	Fn    *types.Func
+	Pkg   *Package
+	Decl  *ast.FuncDecl
+	Calls []CallEdge
+}
+
+// CallGraph is a lightweight interprocedural call graph over go/types:
+// nodes are the FuncDecls of every analyzed package (non-test files),
+// edges the statically resolvable calls — direct calls, method calls on
+// concrete receivers, and cross-package calls (the loader type-checks the
+// whole module against shared *types.Package objects, so a callee in
+// another package resolves to the same object as its declaration).
+//
+// Calls through function values, interface methods, and reflection are
+// not resolved; bodies of function literals are attributed to the
+// enclosing declaration, so a closure handed to the worker pool is
+// analyzed as part of the function that built it.
+type CallGraph struct {
+	Nodes map[*types.Func]*CallNode
+
+	// order lists the nodes in deterministic declaration order (packages
+	// sorted by path, then files and declarations in source order), which
+	// every traversal below follows.
+	order []*types.Func
+}
+
+// BuildCallGraph constructs the graph over packages sorted by import
+// path, so the result is independent of the order pkgs was supplied in.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: make(map[*types.Func]*CallNode)}
+	for _, pkg := range sortedByPath(pkgs) {
+		if pkg.TypesInfo == nil {
+			continue
+		}
+		for _, f := range pkg.nonTestFiles() {
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				node := &CallNode{Fn: obj, Pkg: pkg, Decl: fd}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := pkg.calleeFunc(call); callee != nil {
+						node.Calls = append(node.Calls, CallEdge{Callee: callee, Pos: call.Pos()})
+					}
+					return true
+				})
+				g.Nodes[obj] = node
+				g.order = append(g.order, obj)
+			}
+		}
+	}
+	return g
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// or nil when the callee is not statically known (function values,
+// interface dispatch, conversions, builtins).
+func (p *Package) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// Walk visits every node in deterministic declaration order.
+func (g *CallGraph) Walk(visit func(*CallNode)) {
+	for _, fn := range g.order {
+		visit(g.Nodes[fn])
+	}
+}
+
+// Reachable returns the functions reachable from the given roots through
+// static call edges, mapped to the root each was first discovered from.
+// Roots are processed in the given order and edges in source order, so
+// the discovery attribution is deterministic. Roots themselves are
+// included.
+func (g *CallGraph) Reachable(roots []*types.Func) map[*types.Func]*types.Func {
+	from := make(map[*types.Func]*types.Func)
+	var queue []*types.Func
+	for _, r := range roots {
+		if _, ok := g.Nodes[r]; !ok {
+			continue
+		}
+		if _, seen := from[r]; seen {
+			continue
+		}
+		from[r] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		node := g.Nodes[fn]
+		for _, e := range node.Calls {
+			if _, ok := g.Nodes[e.Callee]; !ok {
+				continue // declared outside the analyzed module
+			}
+			if _, seen := from[e.Callee]; seen {
+				continue
+			}
+			from[e.Callee] = from[fn]
+			queue = append(queue, e.Callee)
+		}
+	}
+	return from
+}
+
+// FuncKey renders the symbol key used by fact exports and root matching:
+// "Name" for functions, "Recv.Name" for methods (pointer receivers
+// spelled the same as value receivers).
+func FuncKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// sortedByPath returns a copy of pkgs sorted by import path.
+func sortedByPath(pkgs []*Package) []*Package {
+	out := append([]*Package(nil), pkgs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Path < out[j-1].Path; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+// findNode locates a call-graph node by package path and symbol key.
+func findNode(t *testing.T, g *CallGraph, pkgPath, key string) *CallNode {
+	t.Helper()
+	var found *CallNode
+	g.Walk(func(n *CallNode) {
+		if n.Pkg.Path == pkgPath && FuncKey(n.Fn) == key {
+			found = n
+		}
+	})
+	if found == nil {
+		t.Fatalf("call graph has no node %s.%s", pkgPath, key)
+	}
+	return found
+}
+
+// edgeTo reports whether the node has a static call edge to fn.
+func edgeTo(n *CallNode, fn *types.Func) bool {
+	for _, e := range n.Calls {
+		if e.Callee == fn {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCallGraphCrossPackageEdges(t *testing.T) {
+	g := BuildCallGraph(loadFixtures(t))
+
+	run := findNode(t, g, "fixture/purefix/b", "Run")
+	tick := findNode(t, g, "fixture/purefix/a", "Tick")
+	// The loader type-checks the module against shared package objects, so
+	// b's call to a.Tick must resolve to the same *types.Func as Tick's
+	// declaration — pointer identity across the package boundary.
+	if !edgeTo(run, tick.Fn) {
+		t.Errorf("b.Run has no edge to a.Tick; calls = %v", run.Calls)
+	}
+
+	// Method calls on concrete receivers resolve too, and FuncKey renders
+	// the pointer receiver the same as a value receiver.
+	bump := findNode(t, g, "fixture/purefix/b", "Bump")
+	inc := findNode(t, g, "fixture/purefix/a", "Counter.Inc")
+	if !edgeTo(bump, inc.Fn) {
+		t.Errorf("b.Bump has no edge to a.Counter.Inc; calls = %v", bump.Calls)
+	}
+	if got := FuncKey(inc.Fn); got != "Counter.Inc" {
+		t.Errorf("FuncKey(Counter.Inc) = %q", got)
+	}
+}
+
+func TestCallGraphReachable(t *testing.T) {
+	g := BuildCallGraph(loadFixtures(t))
+	run := findNode(t, g, "fixture/purefix/b", "Run")
+	tick := findNode(t, g, "fixture/purefix/a", "Tick")
+	pure := findNode(t, g, "fixture/purefix/a", "Pure")
+
+	reach := g.Reachable([]*types.Func{run.Fn})
+	if root, ok := reach[run.Fn]; !ok || root != run.Fn {
+		t.Errorf("root b.Run not in its own reachable set (root=%v ok=%v)", root, ok)
+	}
+	if root, ok := reach[tick.Fn]; !ok || root != run.Fn {
+		t.Errorf("a.Tick not reachable from b.Run (root=%v ok=%v)", root, ok)
+	}
+	// a.Pure is only called by b.Calm, which is not a root.
+	if _, ok := reach[pure.Fn]; ok {
+		t.Errorf("a.Pure spuriously reachable from b.Run")
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Fact is one statically derived property of a symbol, exported by an
+// analyzer during the per-package pass and consumed by module analyzers
+// when they check importing packages. The canonical example is purity's
+// "mutates" fact: package A's pass records that A.Tick writes package
+// state, and the module pass flags a call to A.Tick from a determinism
+// root in package B — a diagnostic in B that depends on a fact from A.
+type Fact struct {
+	Package  string         // import path of the package the symbol lives in
+	Object   string         // symbol key, e.g. "Tick" or "Evaluator.Marked"
+	Analyzer string         // analyzer that exported the fact
+	Kind     string         // fact kind within that analyzer, e.g. "mutates"
+	Detail   string         // human-readable payload for diagnostics
+	Pos      token.Position // position the fact was derived from (may be zero)
+}
+
+// String renders the fact for debugging and test failure output.
+func (f Fact) String() string {
+	return fmt.Sprintf("%s.%s: [%s/%s] %s", f.Package, f.Object, f.Analyzer, f.Kind, f.Detail)
+}
+
+// FactStore is the exported-facts side channel between the per-package
+// pass and the module pass. Reads return facts in a deterministic order
+// (sorted by package, object, kind, position) regardless of export order,
+// so diagnostics never depend on package load order.
+type FactStore struct {
+	byPkg map[string][]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{byPkg: make(map[string][]Fact)}
+}
+
+// Export records one fact. Duplicate exports (same package, object,
+// analyzer, kind and position) collapse to a single fact.
+func (s *FactStore) Export(f Fact) {
+	for _, have := range s.byPkg[f.Package] {
+		if have.Object == f.Object && have.Analyzer == f.Analyzer &&
+			have.Kind == f.Kind && have.Pos == f.Pos {
+			return
+		}
+	}
+	s.byPkg[f.Package] = append(s.byPkg[f.Package], f)
+}
+
+// Of returns every fact recorded for one package, sorted.
+func (s *FactStore) Of(pkgPath string) []Fact {
+	out := append([]Fact(nil), s.byPkg[pkgPath]...)
+	sortFacts(out)
+	return out
+}
+
+// Select returns the facts of one (package, object, analyzer, kind)
+// tuple, sorted by position. Empty object, analyzer or kind match any.
+func (s *FactStore) Select(pkgPath, object, analyzer, kind string) []Fact {
+	var out []Fact
+	for _, f := range s.byPkg[pkgPath] {
+		if (object == "" || f.Object == object) &&
+			(analyzer == "" || f.Analyzer == analyzer) &&
+			(kind == "" || f.Kind == kind) {
+			out = append(out, f)
+		}
+	}
+	sortFacts(out)
+	return out
+}
+
+// Packages lists every package path with at least one fact, sorted.
+func (s *FactStore) Packages() []string {
+	out := make([]string, 0, len(s.byPkg))
+	for p := range s.byPkg {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the total number of stored facts.
+func (s *FactStore) Len() int {
+	n := 0
+	for _, fs := range s.byPkg {
+		n += len(fs)
+	}
+	return n
+}
+
+func sortFacts(fs []Fact) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func fact(pkg, obj, kind, detail string, line int) Fact {
+	return Fact{
+		Package:  pkg,
+		Object:   obj,
+		Analyzer: "purity",
+		Kind:     kind,
+		Detail:   detail,
+		Pos:      token.Position{Filename: pkg + ".go", Line: line},
+	}
+}
+
+func TestFactStoreExportAndSelect(t *testing.T) {
+	s := NewFactStore()
+	s.Export(fact("m/b", "Tick", "mutates", "b.calls", 12))
+	s.Export(fact("m/a", "Run", "mutates", "a.state", 7))
+	s.Export(fact("m/a", "Run", "reads", "a.state", 9))
+	// A duplicate export must not grow the store.
+	s.Export(fact("m/b", "Tick", "mutates", "b.calls", 12))
+
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d after deduplicated exports, want 3", got)
+	}
+	if got, want := s.Packages(), []string{"m/a", "m/b"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Packages = %v, want %v", got, want)
+	}
+
+	facts := s.Of("m/a")
+	if len(facts) != 2 {
+		t.Fatalf("Of(m/a) returned %d facts, want 2", len(facts))
+	}
+	// Of must return sorted facts regardless of export order.
+	if facts[0].Pos.Line > facts[1].Pos.Line {
+		t.Errorf("Of(m/a) not sorted by position: %+v", facts)
+	}
+
+	mut := s.Select("m/a", "Run", "purity", "mutates")
+	if len(mut) != 1 || mut[0].Detail != "a.state" {
+		t.Errorf("Select(m/a, Run, purity, mutates) = %+v, want one a.state fact", mut)
+	}
+	// Empty selector fields match anything.
+	if got := s.Select("m/a", "", "", ""); len(got) != 2 {
+		t.Errorf("wildcard Select(m/a) returned %d facts, want 2", len(got))
+	}
+	if got := s.Select("m/c", "", "", ""); len(got) != 0 {
+		t.Errorf("Select on unknown package returned %d facts, want 0", len(got))
+	}
+}

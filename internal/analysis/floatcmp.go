@@ -26,7 +26,9 @@ func (FloatCmp) Doc() string {
 }
 
 // floatCmpPackages are the import-path suffixes subject to the check.
-var floatCmpPackages = []string{"/qsim", "/qubo", "/anneal", "/grover", "/fastoracle"}
+// parallel and embedding joined the list when their reduction folds and
+// chain-strength arithmetic became part of the reproducibility surface.
+var floatCmpPackages = []string{"/qsim", "/qubo", "/anneal", "/grover", "/fastoracle", "/parallel", "/embedding"}
 
 // Check implements Analyzer.
 func (a FloatCmp) Check(pkg *Package) []Diagnostic {

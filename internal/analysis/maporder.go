@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags map (and sync.Map) iterations whose per-element results
+// are order-sensitive: floating-point accumulation into an outer
+// variable, appends to an outer slice that is never sorted afterwards,
+// and output emitted element by element. Go randomizes map iteration
+// order on every run, so any of these silently breaks the repo's
+// bit-identical reproducibility contract — the exact bug class ToIsing
+// and the SQA energy fold fixed by hand (DESIGN.md §5). Keyed scatter
+// writes (out[k] = v), integer counters, and min/max tracking are order
+// independent and not flagged; the sanctioned collect-keys-then-sort
+// pattern is recognized via the later sort call.
+type MapOrder struct{}
+
+// Name implements Analyzer.
+func (MapOrder) Name() string { return "maporder" }
+
+// Doc implements Analyzer.
+func (MapOrder) Doc() string {
+	return "no order-sensitive results (float sums, unsorted appends, emits) from map iteration"
+}
+
+// Check implements Analyzer.
+func (a MapOrder) Check(pkg *Package) []Diagnostic {
+	if pkg.TypesInfo == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.nonTestFiles() {
+		inspectWithStack(f.AST, func(n ast.Node, stack []ast.Node) {
+			switch node := n.(type) {
+			case *ast.RangeStmt:
+				if !pkg.isMapExpr(node.X) {
+					return
+				}
+				out = append(out, pkg.checkMapBody(a, node.Body, node, rangeVarObjs(pkg, node), stack)...)
+			case *ast.CallExpr:
+				// sync.Map exposes iteration as m.Range(func(k, v any) bool);
+				// the callback body is a map-iteration body all the same.
+				if lit := pkg.syncMapRangeBody(node); lit != nil {
+					out = append(out, pkg.checkMapBody(a, lit.Body, node, funcLitParamObjs(pkg, lit), stack)...)
+				}
+			}
+		})
+	}
+	return out
+}
+
+// checkMapBody scans one map-iteration body for order-sensitive sinks.
+// iter is the iteration node (RangeStmt or sync.Map Range call) and
+// stack the enclosing nodes, innermost last, used to find the function
+// body a later sort could live in.
+func (p *Package) checkMapBody(a MapOrder, body *ast.BlockStmt, iter ast.Node, rangeVars map[types.Object]bool, stack []ast.Node) []Diagnostic {
+	var out []Diagnostic
+	fnBody := enclosingFuncBody(stack)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			if node.Tok == token.ADD_ASSIGN || node.Tok == token.SUB_ASSIGN ||
+				node.Tok == token.MUL_ASSIGN || node.Tok == token.QUO_ASSIGN {
+				for _, lhs := range node.Lhs {
+					if !p.isFloatish(lhs) {
+						continue
+					}
+					if keyedScatter(lhs, rangeVars, p) {
+						continue // out[k] += v readdresses per key: order free
+					}
+					if obj := p.rootObj(lhs); obj != nil && declaredOutside(obj, iter) {
+						out = append(out, p.report(a, node,
+							"floating-point accumulation into %s in map iteration order; fold sorted keys instead", obj.Name()))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if dest, ok := p.appendDest(node); ok {
+				obj := p.rootObj(dest)
+				if obj != nil && declaredOutside(obj, iter) && !p.sortedLater(obj, fnBody, iter) {
+					out = append(out, p.report(a, node,
+						"append to %s in map iteration order without a later sort; collect and sort, or sort the keys first", obj.Name()))
+				}
+				return true
+			}
+			if name, ok := p.emitCall(node); ok {
+				out = append(out, p.report(a, node,
+					"%s emits output in map iteration order; sort the keys first", name))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isMapExpr reports whether the expression's resolved type is a map.
+func (p *Package) isMapExpr(e ast.Expr) bool {
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// syncMapRangeBody returns the callback literal of a sync.Map Range
+// call, or nil.
+func (p *Package) syncMapRangeBody(call *ast.CallExpr) *ast.FuncLit {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Range" || len(call.Args) != 1 {
+		return nil
+	}
+	tv, ok := p.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Map" || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return nil
+	}
+	lit, _ := call.Args[0].(*ast.FuncLit)
+	return lit
+}
+
+// rangeVarObjs collects the objects bound by a range statement's key and
+// value, so keyed scatter writes can be recognized.
+func rangeVarObjs(p *Package, rs *ast.RangeStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := p.TypesInfo.Defs[id]; obj != nil {
+			out[obj] = true
+		} else if obj := p.TypesInfo.Uses[id]; obj != nil {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+// funcLitParamObjs collects the parameter objects of a callback literal.
+func funcLitParamObjs(p *Package, lit *ast.FuncLit) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := p.TypesInfo.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// keyedScatter reports whether the write target is indexed by one of the
+// iteration's own variables — a per-key write, order independent.
+func keyedScatter(lhs ast.Expr, rangeVars map[types.Object]bool, p *Package) bool {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(idx.Index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.TypesInfo.Uses[id]; obj != nil && rangeVars[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rootObj resolves an lvalue-ish expression to the object of its
+// outermost base identifier: c.Adj[i] → c, out → out.
+func (p *Package) rootObj(e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := p.TypesInfo.Uses[v]; obj != nil {
+				return obj
+			}
+			return p.TypesInfo.Defs[v]
+		case *ast.SelectorExpr:
+			// A qualified reference (pkg.Var) roots at the var itself.
+			if id, ok := v.X.(*ast.Ident); ok {
+				if _, isPkg := p.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+					e = v.Sel
+					continue
+				}
+			}
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether the object was declared outside the
+// iteration node — i.e. it survives the loop.
+func declaredOutside(obj types.Object, iter ast.Node) bool {
+	return obj.Pos() < iter.Pos() || obj.Pos() > iter.End()
+}
+
+// appendDest returns the destination expression of a builtin append
+// call.
+func (p *Package) appendDest(call *ast.CallExpr) (ast.Expr, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return nil, false
+	}
+	if obj, ok := p.TypesInfo.Uses[id]; ok {
+		if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+			return nil, false
+		}
+	}
+	return call.Args[0], true
+}
+
+// emitCall reports whether the call writes element-wise output: fmt
+// printing, or Write-family methods (io.Writer, strings.Builder,
+// bytes.Buffer).
+func (p *Package) emitCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch name {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return name, true
+	}
+	return "", false
+}
+
+// sortedLater reports whether the function body contains, after the
+// iteration, a sort.* or slices.Sort* call whose argument roots at the
+// same object as the append destination — the collect-then-sort idiom.
+func (p *Package) sortedLater(dest types.Object, fnBody *ast.BlockStmt, iter ast.Node) bool {
+	if fnBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < iter.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		// sort.Sort(byLen(x)) wraps the slice in a conversion; unwrap
+		// single-argument calls to reach it.
+		if inner, ok := arg.(*ast.CallExpr); ok && len(inner.Args) == 1 {
+			arg = inner.Args[0]
+		}
+		if p.rootObj(arg) == dest {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// declaration or literal on the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// inspectWithStack walks the AST calling visit with the path of
+// enclosing nodes (outermost first, excluding n itself).
+func inspectWithStack(root ast.Node, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// onlyAnalyzer filters a diagnostic list down to one analyzer's findings.
+func onlyAnalyzer(diags []Diagnostic, name string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == name {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestPurityCrossPackage is the fact-propagation acceptance test: the
+// root lives in fixture/purefix/b, the mutator in fixture/purefix/a, and
+// the analyzer must report BOTH the write site in a (from a's own facts)
+// and the call site in b — a diagnostic in the importing package that
+// exists only because of a fact exported by its dependency.
+func TestPurityCrossPackage(t *testing.T) {
+	pkgs := loadFixtures(t)
+	p := Purity{Roots: []PurityRoot{{PkgSuffix: "purefix/b", Func: "Run"}}}
+	diags := onlyAnalyzer(RunAll(pkgs, nil, []ModuleAnalyzer{p}), "purity")
+	if len(diags) != 2 {
+		t.Fatalf("purity reported %d diagnostics, want 2 (write site + call site):\n%v", len(diags), diags)
+	}
+	var writeSite, callSite *Diagnostic
+	for i := range diags {
+		switch {
+		case strings.Contains(diags[i].Message, "a.Tick writes package-level a.calls"):
+			writeSite = &diags[i]
+		case strings.Contains(diags[i].Message, "call to a.Tick (writes package-level a.calls)"):
+			callSite = &diags[i]
+		}
+	}
+	if writeSite == nil || callSite == nil {
+		t.Fatalf("missing write-site or call-site diagnostic:\n%v", diags)
+	}
+	if !strings.HasSuffix(writeSite.Pos.Filename, filepath.Join("a", "a.go")) {
+		t.Errorf("write site reported in %s, want purefix/a/a.go", writeSite.Pos.Filename)
+	}
+	if !strings.HasSuffix(callSite.Pos.Filename, filepath.Join("b", "b.go")) {
+		t.Errorf("call site reported in %s, want purefix/b/b.go", callSite.Pos.Filename)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "determinism root b.Run") {
+			t.Errorf("diagnostic does not name its root: %s", d)
+		}
+	}
+}
+
+// TestPurityDefaultRootsCleanOnFixtures checks the wired-in roots do not
+// fire on packages that merely resemble the real tree.
+func TestPurityDefaultRootsCleanOnFixtures(t *testing.T) {
+	pkgs := loadFixtures(t)
+	diags := onlyAnalyzer(RunAll(pkgs, nil, []ModuleAnalyzer{DefaultPurity()}), "purity")
+	if len(diags) != 0 {
+		t.Errorf("default purity roots fired on fixtures:\n%v", diags)
+	}
+}
+
+// TestAllowAudit runs the full suite so every live directive gets its
+// chance to suppress, then asserts the audit findings: allowfix carries
+// one reasonless-but-used directive, one stale one, and one naming an
+// unknown analyzer; every directive elsewhere in the fixtures is used
+// and reasoned, so allowfix's three are the only findings.
+func TestAllowAudit(t *testing.T) {
+	pkgs := loadFixtures(t)
+	diags := onlyAnalyzer(RunAll(pkgs, All(), AllModule()), "allowaudit")
+	if len(diags) != 3 {
+		t.Fatalf("allowaudit reported %d diagnostics, want 3:\n%v", len(diags), diags)
+	}
+	wants := []string{
+		"//lint:allow seededrand lacks a reason",
+		"stale //lint:allow floatcmp",
+		"unknown analyzer flotcmp",
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, w) {
+				found = true
+				if !strings.HasSuffix(d.Pos.Filename, "allowfix.go") {
+					t.Errorf("audit finding %q reported in %s, want allowfix.go", w, d.Pos.Filename)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("missing audit finding containing %q in:\n%v", w, diags)
+		}
+	}
+}
+
+// TestRunAllOrderIndependence feeds RunAll the same packages in opposite
+// orders: diagnostics — including the module passes built on facts and
+// the call graph — must be identical.
+func TestRunAllOrderIndependence(t *testing.T) {
+	pkgs := loadFixtures(t)
+	reversed := make([]*Package, len(pkgs))
+	for i, p := range pkgs {
+		reversed[len(pkgs)-1-i] = p
+	}
+	a := RunAll(pkgs, All(), AllModule())
+	b := RunAll(reversed, All(), AllModule())
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("diagnostics depend on package load order:\nsorted: %v\nreversed: %v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("expected fixture diagnostics, got none")
+	}
+}
+
+// TestMapOrderCatchesSeededQuboBug seeds the exact bug class maporder
+// exists for — an Ising energy fold in map iteration order inside an
+// internal/qubo package — into a scratch module and asserts the analyzer
+// catches it.
+func TestMapOrderCatchesSeededQuboBug(t *testing.T) {
+	dir := t.TempDir()
+	src := `// Package qubo is a scratch copy with the pre-fix energy fold.
+package qubo
+
+// Energy folds couplings in map iteration order — the seeded bug.
+func Energy(h []float64, j map[[2]int]float64, s []int8) float64 {
+	v := 0.0
+	for i, f := range h {
+		v += f * float64(s[i])
+	}
+	for k, w := range j {
+		v += w * float64(s[k[0]]) * float64(s[k[1]])
+	}
+	return v
+}
+`
+	if err := os.MkdirAll(filepath.Join(dir, "internal", "qubo"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "internal", "qubo", "energy.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir, "scratch")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	diags := Run(pkgs, []Analyzer{MapOrder{}})
+	if len(diags) != 1 {
+		t.Fatalf("maporder reported %d diagnostics on the seeded bug, want 1 (the slice fold must not fire):\n%v", len(diags), diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "floating-point accumulation into v in map iteration order") {
+		t.Errorf("unexpected message: %s", d)
+	}
+	if !strings.HasSuffix(d.Pos.Filename, filepath.Join("qubo", "energy.go")) || d.Pos.Line != 11 {
+		t.Errorf("seeded bug reported at %s:%d, want qubo/energy.go:11", d.Pos.Filename, d.Pos.Line)
+	}
+}

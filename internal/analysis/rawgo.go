@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// RawGo forbids raw concurrency outside the worker-pool package: `go`
+// statements, channel construction, sends, receives, selects, and
+// channel ranges. Every fan-out must go through internal/parallel so the
+// REPRO_WORKERS / SetWorkers knob stays authoritative — a stray
+// goroutine or ad-hoc channel fan-in reintroduces scheduling order into
+// results and breaks the fixed-worker-count determinism tests' coverage.
+// Packages whose import path ends in /parallel are exempt: they ARE the
+// substrate.
+type RawGo struct{}
+
+// Name implements Analyzer.
+func (RawGo) Name() string { return "rawgo" }
+
+// Doc implements Analyzer.
+func (RawGo) Doc() string {
+	return "no go statements or channel plumbing outside internal/parallel; use the pool"
+}
+
+// Check implements Analyzer.
+func (a RawGo) Check(pkg *Package) []Diagnostic {
+	if strings.HasSuffix(pkg.Path, "/parallel") {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.nonTestFiles() {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.GoStmt:
+				out = append(out, pkg.report(a, node,
+					"go statement outside internal/parallel; fan out through the worker pool"))
+			case *ast.SendStmt:
+				out = append(out, pkg.report(a, node,
+					"channel send outside internal/parallel; reductions belong to the pool's chunk-ordered folds"))
+			case *ast.UnaryExpr:
+				if node.Op == token.ARROW {
+					out = append(out, pkg.report(a, node,
+						"channel receive outside internal/parallel; reductions belong to the pool's chunk-ordered folds"))
+				}
+			case *ast.SelectStmt:
+				out = append(out, pkg.report(a, node,
+					"select outside internal/parallel; scheduling-order fan-in is nondeterministic"))
+			case *ast.RangeStmt:
+				if pkg.isChanExpr(node.X) {
+					out = append(out, pkg.report(a, node,
+						"range over a channel outside internal/parallel; arrival-order fan-in is nondeterministic"))
+				}
+			case *ast.CallExpr:
+				if pkg.isMakeChan(node) {
+					out = append(out, pkg.report(a, node,
+						"channel construction outside internal/parallel; use the worker pool"))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isChanExpr reports whether the expression's resolved type is a
+// channel. Without type info it falls back to never matching (the range
+// is then indistinguishable from a slice range).
+func (p *Package) isChanExpr(e ast.Expr) bool {
+	if p.TypesInfo == nil {
+		return false
+	}
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isChanType(tv.Type)
+}
+
+// isMakeChan reports whether the call is make(chan ...). The syntactic
+// ChanType check covers files without type information; the resolved
+// type covers aliases.
+func (p *Package) isMakeChan(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) == 0 {
+		return false
+	}
+	if _, ok := call.Args[0].(*ast.ChanType); ok {
+		return true
+	}
+	if p.TypesInfo != nil {
+		if tv, ok := p.TypesInfo.Types[call.Args[0]]; ok && tv.Type != nil {
+			return isChanType(tv.Type)
+		}
+	}
+	return false
+}
+
+func isChanType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -1,0 +1,27 @@
+// Package allowfix exercises allowaudit: a directive that suppresses a
+// real finding but gives no reason, a stale directive with nothing left
+// to suppress, and a directive naming an analyzer that does not exist.
+// The expected audit findings are asserted in module_test.go — they are
+// module-pass diagnostics, outside the per-package want-marker harness.
+package allowfix
+
+import "math/rand"
+
+// Jitter leans on the global source; the directive suppresses the
+// seededrand finding but gives no reason.
+func Jitter() float64 {
+	return rand.Float64() //lint:allow seededrand
+}
+
+// Residual no longer contains the comparison its directive once excused;
+// the directive survives it, stale.
+//
+//lint:allow floatcmp exact comparison was removed long ago
+func Residual(x float64) float64 {
+	return x + 1
+}
+
+// Typo names an analyzer that does not exist.
+func Typo() int {
+	return 2 //lint:allow flotcmp typo'd analyzer name
+}

@@ -16,7 +16,8 @@ func Bad() {
 	errlib.Do() // want "error result of errlib.Do ignored"
 	local()     // want "error result of errfix.local ignored"
 	var r errlib.R
-	r.Close()         // want "error result of errlib.Close ignored"
+	r.Close() // want "error result of errlib.Close ignored"
+	//lint:allow rawgo fixture exercises errret on a go statement
 	go errlib.Do()    // want "error result of errlib.Do ignored"
 	defer errlib.Do() // want "error result of errlib.Do ignored"
 }

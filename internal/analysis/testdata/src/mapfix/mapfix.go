@@ -1,0 +1,89 @@
+// Package mapfix exercises maporder: order-sensitive results computed in
+// map iteration order — floating-point folds, unsorted key collection,
+// element-wise output — are flagged; keyed scatter writes, integer
+// counting, and the collect-keys-then-sort idiom are not.
+package mapfix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SumLoose folds float values in map iteration order: a different
+// association (and result) on every run.
+func SumLoose(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want "floating-point accumulation into sum in map iteration order"
+	}
+	return sum
+}
+
+// KeysLoose collects keys and never sorts them.
+func KeysLoose(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys in map iteration order without a later sort"
+	}
+	return keys
+}
+
+// DumpLoose prints entries in map iteration order.
+func DumpLoose(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println emits output in map iteration order"
+	}
+}
+
+// RenderLoose streams entries into a builder in map iteration order.
+func RenderLoose(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want "WriteString emits output in map iteration order"
+	}
+}
+
+// TotalSync folds a sync.Map in Range callback order — map iteration by
+// another name.
+func TotalSync(reg *sync.Map) float64 {
+	total := 0.0
+	reg.Range(func(k, v any) bool {
+		total += v.(float64) // want "floating-point accumulation into total in map iteration order"
+		return true
+	})
+	return total
+}
+
+// SumSorted is the sanctioned fold: collect the keys, sort them, fold in
+// sorted order.
+func SumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// Scatter writes each element under its own key: order independent.
+func Scatter(m map[int]float64, out []float64) {
+	for k, v := range m {
+		out[k] = v * 2
+	}
+}
+
+// Count tracks an integer tally: exact arithmetic, order independent.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,26 @@
+// Package embedding (fixture) exercises floatcmp on the embedding
+// package: chain-strength arithmetic and coupler weights are accumulated
+// floats, so exact comparisons in non-test files are flagged.
+package embedding
+
+import "math"
+
+// BadStrength tests a computed chain strength exactly.
+func BadStrength(strength, maxAbs float64) bool {
+	return strength == 1.5*maxAbs // want "exact floating-point comparison"
+}
+
+// BadWeight compares accumulated coupler weights exactly.
+func BadWeight(w, prev float64) bool {
+	return w != prev // want "exact floating-point comparison"
+}
+
+// Good compares weights against a tolerance.
+func Good(w, prev float64) bool {
+	return math.Abs(w-prev) < 1e-9
+}
+
+// GoodChain is integer chain bookkeeping, untouched by the check.
+func GoodChain(broken, chains int) bool {
+	return broken == chains
+}

@@ -1,0 +1,30 @@
+// Package parallel (fixture) exercises floatcmp on the worker-pool
+// package: its reduction folds are part of the reproducibility surface,
+// so exact float comparisons in non-test files are flagged.
+package parallel
+
+import "math"
+
+// BadReduce short-circuits a fold on exact equality of partial sums.
+func BadReduce(partials []float64, want float64) bool {
+	sum := 0.0
+	for _, p := range partials {
+		sum += p
+	}
+	return sum == want // want "exact floating-point comparison"
+}
+
+// BadChunk compares two chunk results exactly.
+func BadChunk(a, b float64) bool {
+	return a != b // want "exact floating-point comparison"
+}
+
+// Good compares partial sums against a tolerance.
+func Good(a, b float64) bool {
+	return math.Abs(a-b) < 1e-12
+}
+
+// GoodCount is integer bookkeeping, untouched by the check.
+func GoodCount(done, total int) bool {
+	return done == total
+}

@@ -1,0 +1,19 @@
+// Package parallel is the fixture stand-in for the repo's worker pool:
+// its import path ends in /parallel, so rawgo exempts it — this package
+// IS the concurrency substrate everything else must go through.
+package parallel
+
+// Map runs f(0..n-1) on hand-rolled goroutines. Raw `go` statements and
+// channels are legal here and nowhere else.
+func Map(n int, f func(int)) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			f(i)
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,31 @@
+// Package a is the callee half of the purity fixture: it exports a
+// function that mutates package-level state (Tick) and a pure one
+// (Pure). The fact pass records the mutation; the module pass reports it
+// only when a determinism root in another package reaches it.
+package a
+
+var calls int
+
+// Tick counts invocations in package state — the impurity the analyzer
+// must surface across the package boundary.
+func Tick() int {
+	calls++
+	return calls
+}
+
+// Pure has no package-level effects.
+func Pure(x int) int {
+	return x + 1
+}
+
+// Counter is a value type with a pointer method, for call-graph
+// method-edge and FuncKey coverage.
+type Counter struct {
+	n int
+}
+
+// Inc bumps the counter through its receiver — receiver state, not
+// package state.
+func (c *Counter) Inc() {
+	c.n++
+}

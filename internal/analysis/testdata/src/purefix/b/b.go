@@ -1,0 +1,22 @@
+// Package b is the root half of the purity fixture: Run is declared as a
+// determinism root in the test and calls across the package boundary
+// into a's mutator, so the analyzer must report both the write site (in
+// a, from a's own facts) and the call site (here, consuming them).
+package b
+
+import "fixture/purefix/a"
+
+// Run is the fixture determinism root.
+func Run() int {
+	return a.Tick()
+}
+
+// Calm stays on pure callees: no diagnostics on this path.
+func Calm(x int) int {
+	return a.Pure(x)
+}
+
+// Bump exercises a cross-package method edge in the call graph.
+func Bump(c *a.Counter) {
+	c.Inc()
+}

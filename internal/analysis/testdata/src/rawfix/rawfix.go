@@ -1,0 +1,48 @@
+// Package rawfix exercises rawgo: hand-rolled goroutines and channel
+// plumbing are flagged everywhere outside a /parallel package; handing
+// the fan-out to the pool is the sanctioned counterpart.
+package rawfix
+
+import "fixture/parallel"
+
+// Bad fans out by hand: construction, spawn, and send all flagged.
+func Bad(n int, out []float64) {
+	ch := make(chan int) // want "channel construction outside internal/parallel"
+	for w := 0; w < n; w++ {
+		go worker(ch, out) // want "go statement outside internal/parallel"
+	}
+	for i := 0; i < n; i++ {
+		ch <- i // want "channel send outside internal/parallel"
+	}
+}
+
+func worker(ch chan int, out []float64) {
+	i := <-ch // want "channel receive outside internal/parallel"
+	out[i] = float64(i)
+}
+
+// BadDrain folds values in channel arrival order.
+func BadDrain(ch chan int) int {
+	total := 0
+	for v := range ch { // want "range over a channel outside internal/parallel"
+		total += v
+	}
+	return total
+}
+
+// BadRace returns whichever arrives first.
+func BadRace(a, b chan int) int {
+	select { // want "select outside internal/parallel"
+	case v := <-a: // want "channel receive outside internal/parallel"
+		return v
+	case v := <-b: // want "channel receive outside internal/parallel"
+		return v
+	}
+}
+
+// Good hands the fan-out to the pool package.
+func Good(n int, out []float64) {
+	parallel.Map(n, func(i int) {
+		out[i] = float64(i)
+	})
+}

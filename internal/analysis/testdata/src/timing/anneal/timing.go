@@ -1,0 +1,63 @@
+// Package anneal (fixture) exercises walltime: its import-path suffix is
+// on the algorithm-package list, so wall-clock readings may only feed
+// metrics fields or logging. Clock values steering loops or landing in
+// return values are flagged; timer anchors, metrics assignments, and a
+// //lint:allow-documented runtime contract are not.
+package anneal
+
+import (
+	"log"
+	"time"
+)
+
+// Result carries reporting-only metrics fields.
+type Result struct {
+	Rounds  int
+	Elapsed time.Duration
+}
+
+// Bad lets the wall clock steer how many rounds run.
+func Bad(limit time.Duration) Result {
+	start := time.Now()
+	var r Result
+	for time.Since(start) < limit { // want "time.Since flows into a result-producing path"
+		r.Rounds++
+	}
+	return r
+}
+
+// BadLocal binds a duration to a plain local that feeds the result.
+func BadLocal(start time.Time) int {
+	d := time.Since(start) // want "time.Since flows into a result-producing path"
+	return int(d)
+}
+
+// BadReturn returns a clock reading directly.
+func BadReturn() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0) // want "time.Since flows into a result-producing path"
+}
+
+// Good confines clock readings to the metrics field and logging.
+func Good(rounds int) Result {
+	start := time.Now()
+	r := Result{Rounds: rounds}
+	r.Elapsed = time.Since(start)
+	log.Printf("annealed %d rounds in %v", rounds, time.Since(start))
+	return r
+}
+
+// GoodLiteral lands the reading in a metrics key of a composite literal.
+func GoodLiteral(start time.Time) Result {
+	return Result{Elapsed: time.Since(start)}
+}
+
+// GoodContract documents a deliberate wall-clock contract.
+func GoodContract(min time.Duration) int {
+	start := time.Now()
+	n := 0
+	for n == 0 || time.Since(start) < min { //lint:allow walltime fixture's documented minimum-runtime contract
+		n++
+	}
+	return n
+}

@@ -36,7 +36,7 @@ func AutoChainStrength(m *qubo.Model) float64 {
 			maxAbs = a
 		}
 	}
-	if maxAbs == 0 {
+	if maxAbs == 0 { //lint:allow floatcmp untouched zero sentinel: only exact zero means no coefficient was seen
 		return 1
 	}
 	return 1.5 * maxAbs

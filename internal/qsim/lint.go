@@ -1,6 +1,9 @@
 package qsim
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // This file is the circuit-level half of the repo's Level-2 static
 // analysis (see internal/analysis for the Go-source half): it treats a
@@ -77,21 +80,35 @@ func LintCircuit(c *Circuit, opts LintOptions) []LintIssue {
 		}
 	}
 	// Double-entry accounting: ledger vs recount, and recount vs total.
+	// Blocks are visited in sorted order so the issue list — part of the
+	// linter's observable output — is identical on every run (maporder
+	// flags the naive map walk).
 	ledger := c.GateCounts()
 	total := 0
-	for block, got := range ledger {
+	for _, block := range sortedBlocks(ledger) {
+		got := ledger[block]
 		total += got
 		if want := recount[block]; got != want {
 			issues = append(issues, LintIssue{Gate: -1, Msg: fmt.Sprintf("block %q ledger records %d gates, gate list has %d", block, got, want)})
 		}
 	}
-	for block, want := range recount {
+	for _, block := range sortedBlocks(recount) {
 		if _, ok := ledger[block]; !ok {
-			issues = append(issues, LintIssue{Gate: -1, Msg: fmt.Sprintf("block %q has %d gates but no ledger entry", block, want)})
+			issues = append(issues, LintIssue{Gate: -1, Msg: fmt.Sprintf("block %q has %d gates but no ledger entry", block, recount[block])})
 		}
 	}
 	if total != c.Len() {
 		issues = append(issues, LintIssue{Gate: -1, Msg: fmt.Sprintf("ledger total %d != circuit length %d", total, c.Len())})
 	}
 	return issues
+}
+
+// sortedBlocks returns the keys of a block-count map in sorted order.
+func sortedBlocks(counts map[string]int) []string {
+	blocks := make([]string, 0, len(counts))
+	for b := range counts {
+		blocks = append(blocks, b)
+	}
+	sort.Strings(blocks)
+	return blocks
 }

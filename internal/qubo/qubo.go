@@ -101,7 +101,9 @@ func (m *Model) Interactions() [][2]int {
 // NumInteractions returns the count of non-zero quadratic terms.
 func (m *Model) NumInteractions() int { return len(m.quad) }
 
-// Evaluate returns the objective value at assignment x.
+// Evaluate returns the objective value at assignment x. Quadratic terms
+// fold in sorted pair order — never map iteration order — so the value
+// is bit-identical on every call (maporder enforces this statically).
 func (m *Model) Evaluate(x []bool) float64 {
 	if len(x) != m.n {
 		panic(fmt.Sprintf("qubo: assignment width %d != %d variables", len(x), m.n))
@@ -112,9 +114,9 @@ func (m *Model) Evaluate(x []bool) float64 {
 			v += m.linear[i]
 		}
 	}
-	for k, w := range m.quad {
+	for _, k := range m.Interactions() {
 		if x[k[0]] && x[k[1]] {
-			v += w
+			v += m.quad[k]
 		}
 	}
 	return v
@@ -217,14 +219,32 @@ func (m *Model) ToIsing() *Ising {
 	return is
 }
 
-// Energy evaluates the Ising objective at spins s.
+// Interactions returns the non-zero coupling pairs, sorted — the fold
+// order every energy evaluation must use.
+func (is *Ising) Interactions() [][2]int {
+	out := make([][2]int, 0, len(is.J))
+	for k := range is.J {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// Energy evaluates the Ising objective at spins s. Couplings fold in
+// sorted pair order so the floating-point association — and therefore
+// any recorded energy — is identical on every call.
 func (is *Ising) Energy(s []int8) float64 {
 	v := is.Offset
 	for i, h := range is.H {
 		v += h * float64(s[i])
 	}
-	for k, j := range is.J {
-		v += j * float64(s[k[0]]) * float64(s[k[1]])
+	for _, k := range is.Interactions() {
+		v += is.J[k] * float64(s[k[0]]) * float64(s[k[1]])
 	}
 	return v
 }
