@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt-check vet lint lint-json test race bench-smoke bench-json fuzz-smoke ci
+.PHONY: build fmt-check vet lint lint-json test race bench-smoke bench-json obs-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,20 @@ bench-json:
 	| $(GO) run ./cmd/benchjson > BENCH_ISSUE3.json
 	@cat BENCH_ISSUE3.json
 
+# Observability smoke: one seeded qMKP solve, traced twice at different
+# worker counts. The span/event stream and the metrics snapshot must be
+# bit-identical (the determinism contract of internal/obs, DESIGN.md §9).
+# The worker-1 outputs stay behind as OBS_TRACE.jsonl / OBS_METRICS.json
+# — the checked-in sample that CI regenerates and archives.
+obs-smoke:
+	REPRO_WORKERS=1 $(GO) run ./cmd/qmkp -algo qmkp -k 2 -gen 10,23 -seed 5 \
+		-trace-out OBS_TRACE.jsonl -metrics-out OBS_METRICS.json
+	REPRO_WORKERS=8 $(GO) run ./cmd/qmkp -algo qmkp -k 2 -gen 10,23 -seed 5 \
+		-trace-out /tmp/obs-trace.w8.jsonl -metrics-out /tmp/obs-metrics.w8.json
+	cmp OBS_TRACE.jsonl /tmp/obs-trace.w8.jsonl
+	cmp OBS_METRICS.json /tmp/obs-metrics.w8.json
+	@echo "obs-smoke: trace and metrics bit-identical at 1 and 8 workers"
+
 # Short randomized runs of the native fuzz targets (the checked-in seed
 # corpora always run as part of `make test`).
 fuzz-smoke:
@@ -63,4 +77,4 @@ fuzz-smoke:
 	$(GO) test ./internal/bitvec/ -fuzz FuzzBitVec -fuzztime 5s
 	$(GO) test ./internal/oracle/ -run FuzzFastOracle -fuzz FuzzFastOracle -fuzztime 5s
 
-ci: build fmt-check vet lint test race bench-smoke
+ci: build fmt-check vet lint test race bench-smoke obs-smoke

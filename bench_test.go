@@ -7,6 +7,7 @@ package repro
 // reported ns/op is the cost of regenerating that artifact.
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/grover"
 	"repro/internal/kplex"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/parallel"
 	"repro/internal/qsim"
@@ -370,4 +372,40 @@ func BenchmarkQMKPByN(b *testing.B) {
 
 func byN(n int) string {
 	return "n=" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+// --- Observability ablation ---
+//
+// The nil-observer run is the default configuration: the obs plumbing is
+// threaded through every layer but inert, and must stay within noise of
+// the pre-instrumentation cost (hot loops guard attr construction with
+// Trace.Enabled, counters are bulk-added once per sweep). The traced run
+// quantifies what switching the recorder and registry on costs.
+
+func benchObserver(b *testing.B, o func() obs.Obs) {
+	g := graph.Gnm(10, 23, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.SolveMKP(context.Background(), g, core.Spec{
+			Algo: core.AlgoMKP, K: 2,
+			Gate: &core.GateOptions{Rng: rand.New(rand.NewSource(1))},
+			Obs:  o(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Size == 0 {
+			b.Fatal("solve found nothing")
+		}
+	}
+}
+
+func BenchmarkAblationObserverNil(b *testing.B) {
+	benchObserver(b, func() obs.Obs { return obs.Obs{} })
+}
+
+func BenchmarkAblationObserverTrace(b *testing.B) {
+	benchObserver(b, func() obs.Obs {
+		return obs.Obs{Trace: obs.NewTrace(obs.NewRecorder()), Metrics: obs.NewMetrics()}
+	})
 }

@@ -8,6 +8,11 @@
 // Output is plain text: aligned tables, and (x, y) rows per series for
 // figures. See DESIGN.md for the experiment index and EXPERIMENTS.md for
 // paper-vs-measured commentary.
+//
+// Observability: -trace-out / -metrics-out dump the span trace (JSONL)
+// and the metric counters of every core solver call the drivers make;
+// -cpuprofile, -memprofile and -exectrace capture the usual runtime
+// profiles of the whole regeneration run.
 package main
 
 import (
@@ -18,44 +23,75 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obsio"
 )
 
 func main() {
+	if !run() {
+		os.Exit(1)
+	}
+}
+
+// run executes the selected experiments and reports success; it exists
+// so the observability defers fire before main decides the exit code.
+func run() bool {
 	var (
 		which = flag.String("exp", "all", "comma-separated experiment ids, or 'all': "+strings.Join(exp.Names(), ","))
 		quick = flag.Bool("quick", false, "reduced shot/sweep budgets")
 		seed  = flag.Int64("seed", 1, "random seed")
+
+		traceOut   = flag.String("trace-out", "", "write the deterministic span/event trace of all core solver calls as JSONL to this file ('-' = stdout)")
+		metricsOut = flag.String("metrics-out", "", "write the counter/gauge snapshot as JSON to this file ('-' = stdout)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
+		exectrace  = flag.String("exectrace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := obsio.StartProfiles(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return false
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "experiments: profiles:", perr)
+		}
+	}()
+
+	sink := obsio.New(*traceOut, *metricsOut)
+	defer func() {
+		if ferr := sink.Flush(); ferr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", ferr)
+		}
+	}()
 
 	names := exp.Names()
 	if *which != "all" {
 		names = strings.Split(*which, ",")
 	}
-	cfg := exp.Config{Quick: *quick, Seed: *seed}
-	failed := false
+	cfg := exp.Config{Quick: *quick, Seed: *seed, Obs: sink.Obs}
+	ok := true
 	for _, name := range names {
 		runner, err := exp.Lookup(strings.TrimSpace(name))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			failed = true
+			ok = false
 			continue
 		}
 		start := time.Now()
 		res, err := runner(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
-			failed = true
+			ok = false
 			continue
 		}
 		if err := res.Render(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s render: %v\n", name, err)
-			failed = true
+			ok = false
 			continue
 		}
 		fmt.Printf("(%s regenerated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
-	if failed {
-		os.Exit(1)
-	}
+	return ok
 }

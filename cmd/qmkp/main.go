@@ -7,16 +7,37 @@
 //	qmkp -algo qmkp  -k 2 -graph graph.txt
 //	qmkp -algo qamkp -k 3 -gen 20,100 -shots 500 -deltat 5
 //	qmkp -algo bs    -k 2 -dataset 'G_{10,23}'
+//	qmkp -algo qmkp  -k 2 -dataset 'G_{10,23}' -trace-out trace.jsonl -metrics-out metrics.json
 //
 // Input is either -graph (edge-list file, see internal/graph), -gen n,m (a
 // seeded random graph) or -dataset (a named paper dataset).
+//
+// Runs are cancellable: -timeout bounds the solve, and an interrupt
+// (Ctrl-C) stops it at the next probe/try/shot boundary; either way the
+// best solution found so far is printed before exiting. Exit codes
+// distinguish failure classes:
+//
+//	0  solved
+//	1  input/runtime error
+//	2  bad request (core.ErrBadSpec: empty graph, k or T out of range, unknown sampler)
+//	3  instance too large for the gate simulator (core.ErrTooLarge)
+//	4  verified infeasible (core.ErrInfeasible, qtkp only)
+//	5  canceled or timed out (core.ErrCanceled)
+//
+// Observability: -trace-out writes the deterministic span/event trace as
+// JSONL, -metrics-out the counter/gauge snapshot as JSON ("-" = stdout
+// for both); -cpuprofile, -memprofile and -exectrace capture the usual
+// runtime profiles.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -24,13 +45,29 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/kplex"
+	"repro/internal/obsio"
 )
 
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "qmkp:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps the core sentinels to the documented exit codes.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, core.ErrBadSpec):
+		return 2
+	case errors.Is(err, core.ErrTooLarge):
+		return 3
+	case errors.Is(err, core.ErrInfeasible):
+		return 4
+	case errors.Is(err, core.ErrCanceled):
+		return 5
+	}
+	return 1
 }
 
 func run() error {
@@ -49,8 +86,40 @@ func run() error {
 		embed   = flag.Bool("embed", false, "qaMKP: run through the hardware-embedding pipeline")
 		reduce  = flag.Bool("reduce", false, "apply core-truss co-pruning before solving")
 		circuit = flag.Bool("circuit", false, "qmkp/qtkp: force oracle evaluation through circuit replay (disables the semantic fast path; same results, slower)")
+
+		timeout    = flag.Duration("timeout", 0, "cancel the solve after this duration (0 = none); the best solution so far is still printed")
+		traceOut   = flag.String("trace-out", "", "write the deterministic span/event trace as JSONL to this file ('-' = stdout)")
+		metricsOut = flag.String("metrics-out", "", "write the counter/gauge snapshot as JSON to this file ('-' = stdout)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
+		exectrace  = flag.String("exectrace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := obsio.StartProfiles(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "qmkp: profiles:", perr)
+		}
+	}()
+
+	sink := obsio.New(*traceOut, *metricsOut)
+	defer func() {
+		if ferr := sink.Flush(); ferr != nil {
+			fmt.Fprintln(os.Stderr, "qmkp:", ferr)
+		}
+	}()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	g, err := loadGraph(*file, *gen, *dataset, *seed)
 	if err != nil {
@@ -74,8 +143,12 @@ func run() error {
 
 	switch *algo {
 	case "qmkp":
-		res, err := core.QMKP(g, *k, &core.GateOptions{Rng: rand.New(rand.NewSource(*seed)), DisableFastPath: *circuit})
-		if err != nil {
+		res, err := core.SolveMKP(ctx, g, core.Spec{
+			Algo: core.AlgoMKP, K: *k,
+			Gate: &core.GateOptions{Rng: rand.New(rand.NewSource(*seed)), DisableFastPath: *circuit},
+			Obs:  sink.Obs,
+		})
+		if err != nil && !errors.Is(err, core.ErrCanceled) {
 			return err
 		}
 		for _, p := range res.Progress {
@@ -85,34 +158,52 @@ func run() error {
 			}
 			fmt.Printf("  probe T=%-3d %-22s cum. modelled QPU %v\n", p.T, status, p.CumQPUTime)
 		}
+		if err != nil {
+			fmt.Printf("canceled: best size so far %d, set %v\n", res.Size, oneBased(res.Set))
+			return err
+		}
 		fmt.Printf("solution: size %d, set %v\n", res.Size, oneBased(res.Set))
 		fmt.Printf("cost: %d oracle calls, %d gates, modelled QPU %v, wall %v, error prob %.2e\n",
 			res.OracleCalls, res.Gates, res.QPUTime, res.WallTime, res.ErrorProbability)
 	case "qtkp":
 		if *tSize < 1 {
-			return fmt.Errorf("qtkp needs -T ≥ 1")
+			return fmt.Errorf("qtkp needs -T ≥ 1: %w", core.ErrBadSpec)
 		}
-		res, err := core.QTKP(g, *k, *tSize, &core.GateOptions{Rng: rand.New(rand.NewSource(*seed)), DisableFastPath: *circuit})
-		if err != nil {
+		res, err := core.SolveTKP(ctx, g, core.Spec{
+			Algo: core.AlgoTKP, K: *k, T: *tSize,
+			Gate: &core.GateOptions{Rng: rand.New(rand.NewSource(*seed)), DisableFastPath: *circuit},
+			Obs:  sink.Obs,
+		})
+		switch {
+		case errors.Is(err, core.ErrInfeasible):
+			fmt.Printf("no %d-plex of size ≥ %d exists (verified absence)\n", *k, *tSize)
 			return err
-		}
-		if !res.Found {
-			fmt.Printf("no %d-plex of size ≥ %d exists\n", *k, *tSize)
-			return nil
+		case errors.Is(err, core.ErrCanceled):
+			fmt.Println("canceled before the probe finished")
+			return err
+		case err != nil:
+			return err
 		}
 		fmt.Printf("solution: size %d, set %v (M=%d, %d iterations, error prob %.2e)\n",
 			len(res.Set), oneBased(res.Set), res.M, res.Iterations, res.ErrorProbability)
 	case "qamkp":
-		res, err := core.QAMKP(g, *k, &core.AnnealOptions{
-			R: *rPen, Shots: *shots, DeltaT: *deltaT, Seed: *seed, Embed: *embed,
+		res, err := core.SolveAnneal(ctx, g, core.Spec{
+			Algo: core.AlgoAnneal, K: *k,
+			Anneal: &core.AnnealOptions{R: *rPen, Shots: *shots, DeltaT: *deltaT, Seed: *seed, Embed: *embed},
+			Obs:    sink.Obs,
 		})
-		if err != nil {
+		if err != nil && !errors.Is(err, core.ErrCanceled) {
 			return err
 		}
 		fmt.Printf("model: %d binary variables (%d slack)\n", res.Variables, res.SlackVars)
 		if res.EmbedStats != nil {
 			fmt.Printf("embedding: %d physical qubits, avg chain %.2f, max chain %d\n",
 				res.EmbedStats.PhysicalQubits, res.EmbedStats.AvgChain, res.EmbedStats.MaxChain)
+		}
+		if err != nil {
+			fmt.Printf("canceled: best over completed shots: size %d, set %v (valid k-plex: %v), cost %.2f\n",
+				res.Size, oneBased(res.Set), res.Valid, res.Cost)
+			return err
 		}
 		fmt.Printf("solution: size %d, set %v (valid k-plex: %v), cost %.2f\n",
 			res.Size, oneBased(res.Set), res.Valid, res.Cost)
@@ -142,7 +233,7 @@ func run() error {
 		fmt.Printf("solution: maximum %d-club of size %d, set %v (%d oracle calls)\n",
 			*clubL, res.Size, oneBased(res.Set), res.Nodes)
 	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+		return fmt.Errorf("unknown algorithm %q: %w", *algo, core.ErrBadSpec)
 	}
 	return nil
 }

@@ -122,7 +122,7 @@ func TestRawGo(t *testing.T) {
 }
 
 func TestWallTime(t *testing.T) {
-	checkFixture(t, WallTime{}, "fixture/timing/anneal")
+	checkFixture(t, WallTime{}, "fixture/timing/anneal", "fixture/timing/obs")
 }
 
 func TestErrRet(t *testing.T) {

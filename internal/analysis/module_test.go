@@ -66,6 +66,30 @@ func TestPurityDefaultRootsCleanOnFixtures(t *testing.T) {
 	}
 }
 
+// TestPurityObsRoots mirrors the internal/obs wiring: Trace methods as
+// receiver-scoped wildcard roots over a tracer fixture. The
+// instance-carried methods (Next, and Metrics.Add which is not rooted
+// here) stay clean; Leak's write to the package-level sequence counter
+// is the one finding.
+func TestPurityObsRoots(t *testing.T) {
+	pkgs := loadFixtures(t)
+	p := Purity{Roots: []PurityRoot{{PkgSuffix: "purefix/obs", Recv: "Trace", Func: "*"}}}
+	diags := onlyAnalyzer(RunAll(pkgs, nil, []ModuleAnalyzer{p}), "purity")
+	if len(diags) != 1 {
+		t.Fatalf("purity reported %d diagnostics, want 1 (Leak's write site):\n%v", len(diags), diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "writes package-level obs.globalSeq") {
+		t.Errorf("diagnostic does not name the global write: %s", d)
+	}
+	if !strings.Contains(d.Message, "Trace") || !strings.Contains(d.Message, "Leak") {
+		t.Errorf("diagnostic does not identify Trace.Leak: %s", d)
+	}
+	if !strings.HasSuffix(d.Pos.Filename, filepath.Join("obs", "obs.go")) {
+		t.Errorf("write site reported in %s, want purefix/obs/obs.go", d.Pos.Filename)
+	}
+}
+
 // TestAllowAudit runs the full suite so every live directive gets its
 // chance to suppress, then asserts the audit findings: allowfix carries
 // one reasonless-but-used directive, one stale one, and one naming an

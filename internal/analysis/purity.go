@@ -41,6 +41,11 @@ func DefaultPurity() Purity {
 		{PkgSuffix: "internal/fastoracle", Recv: "Evaluator", Func: "*"},
 		{PkgSuffix: "internal/fastoracle", Recv: "Table", Func: "*"},
 		{PkgSuffix: "internal/core", Func: "runTKPPred"},
+		// The observability layer sits on the solver hot paths; all of
+		// its state (sequence numbers, counters, registries) must stay
+		// instance-carried so two solves never couple through a global.
+		{PkgSuffix: "internal/obs", Recv: "Trace", Func: "*"},
+		{PkgSuffix: "internal/obs", Recv: "Metrics", Func: "*"},
 	}}
 }
 

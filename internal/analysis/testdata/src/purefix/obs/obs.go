@@ -1,0 +1,40 @@
+// Package obs (fixture) mirrors the observability wiring of the purity
+// roots: Trace methods sit on solver hot paths, so all tracer state must
+// be instance-carried. A package-level sequence counter — which would
+// couple the traces of unrelated solves — is the failure mode the roots
+// exist to catch.
+package obs
+
+var globalSeq uint64
+
+// Trace is the fixture tracer; its methods are declared determinism
+// roots in the module test, mirroring the internal/obs entry.
+type Trace struct {
+	seq uint64
+}
+
+// Next draws from instance state only — clean.
+func (t *Trace) Next() uint64 {
+	t.seq++
+	return t.seq
+}
+
+// Leak draws from the package-level counter: the write the analyzer must
+// surface under the Trace.* root.
+func (t *Trace) Leak() uint64 {
+	globalSeq++
+	return globalSeq
+}
+
+// Metrics mirrors the registry half; instance map state is fine.
+type Metrics struct {
+	counters map[string]uint64
+}
+
+// Add writes through the receiver only — clean.
+func (m *Metrics) Add(name string, d uint64) {
+	if m.counters == nil {
+		m.counters = make(map[string]uint64)
+	}
+	m.counters[name] += d
+}

@@ -1,0 +1,59 @@
+// Package obs (fixture) exercises walltime on the observability layer:
+// its import-path suffix is on the algorithm-package list because the
+// span stream is part of the deterministic output contract. Clock
+// readings may only land in the Elapsed annotation (a metrics field) or
+// in logging — never in sequence numbers, names, or attribute values.
+package obs
+
+import (
+	"log"
+	"time"
+)
+
+// Span is a fixture span: Seq orders the stream, Elapsed is the
+// sanctioned wall-time annotation.
+type Span struct {
+	Seq     uint64
+	Label   string
+	Started int64
+	Elapsed time.Duration
+}
+
+// Tracer assigns sequence numbers and collects spans.
+type Tracer struct {
+	seq   uint64
+	spans []Span
+}
+
+// BadStamp leaks the clock into span content: the trace stops being
+// bit-identical across runs.
+func (t *Tracer) BadStamp(label string) {
+	t.seq++
+	t.spans = append(t.spans, Span{
+		Seq:     t.seq,
+		Label:   label,
+		Started: time.Now().UnixNano(), // want "time.Now flows into a result-producing path"
+	})
+}
+
+// BadOrder derives ordering from the clock instead of the counter.
+func (t *Tracer) BadOrder() uint64 {
+	return uint64(time.Now().UnixNano()) // want "time.Now flows into a result-producing path"
+}
+
+// GoodEnd anchors a timer and lands the reading only in the Elapsed
+// annotation and the log line.
+func (t *Tracer) GoodEnd(label string) {
+	began := time.Now()
+	t.seq++
+	sp := Span{Seq: t.seq, Label: label}
+	sp.Elapsed = time.Since(began)
+	log.Printf("span %s closed after %v", label, time.Since(began))
+	t.spans = append(t.spans, sp)
+}
+
+// GoodLiteral lands the reading in the metrics key of the literal.
+func (t *Tracer) GoodLiteral(label string, began time.Time) {
+	t.seq++
+	t.spans = append(t.spans, Span{Seq: t.seq, Label: label, Elapsed: time.Since(began)})
+}

@@ -27,7 +27,10 @@ func (WallTime) Doc() string {
 }
 
 // wallTimePackages are the import-path suffixes subject to the check.
-var wallTimePackages = []string{"/anneal", "/grover", "/qsim", "/fastoracle", "/core"}
+// The observability layer (/obs) is included because its span stream is
+// part of the deterministic output contract: clock readings there may
+// only land in the Elapsed annotation, never in ordering or content.
+var wallTimePackages = []string{"/anneal", "/grover", "/qsim", "/fastoracle", "/core", "/obs"}
 
 // wallTimeMetricsFields are field names understood to be reporting-only:
 // assigning a clock reading to them is the sanctioned sink.

@@ -16,10 +16,12 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/qubo"
 )
@@ -45,8 +47,25 @@ type Params struct {
 	// which need not coincide with the best energy (Section IV-C).
 	// Shots anneal on parallel workers, but the hook is always invoked
 	// serially, in shot order (slice order within a shot), from the
-	// caller's goroutine, so it needs no synchronization.
+	// caller's goroutine, so it needs no synchronization. It is kept as
+	// a compatibility hook; the Obs observer below sees the same stream
+	// as "anneal.sample" events from the same serial merge loop.
 	OnSample func(x []bool, energy float64)
+
+	// Obs carries the unified observability subsystem (internal/obs):
+	// the tracer receives one span per sampler run, a sample event per
+	// readout and a shot event per completed shot — all emitted from
+	// the serial shot-ordered merge, so sequence numbers are
+	// deterministic at any worker count — and the metrics registry
+	// accumulates proposal/accept counters and accept-rate gauges.
+	// The zero value is inert.
+	Obs obs.Obs
+}
+
+// wantReadouts reports whether per-readout samples must be carried back
+// from the workers — either hook consumes them.
+func (p Params) wantReadouts() bool {
+	return p.OnSample != nil || p.Obs.Trace.Enabled()
 }
 
 func (p Params) withDefaults() Params {
@@ -124,29 +143,106 @@ func shotSeed(seed int64, shot int) int64 {
 }
 
 // shotOutcome is what one independent anneal hands back for the ordered
-// merge: its best sample and, when the OnSample hook is set, every
-// end-of-shot readout in evaluation order.
+// merge: its best sample, every end-of-shot readout (in evaluation
+// order, when a hook consumes them), and its Metropolis proposal
+// accounting.
 type shotOutcome struct {
 	best     Sample
 	readouts []Sample
+	proposed int64 // Metropolis proposals made
+	accepted int64 // proposals accepted
 }
 
 // mergeShots folds per-shot outcomes into a Result in shot order: the
-// OnSample hook fires serially, ties between equal energies resolve to
-// the earliest shot (exactly as in a serial run), and BestAfterShot[i]
-// covers shots 0..i.
-func mergeShots(shots []shotOutcome, p Params) Result {
+// observer events and the OnSample hook fire serially, ties between
+// equal energies resolve to the earliest shot (exactly as in a serial
+// run), and BestAfterShot[i] covers shots 0..i. Shots whose done flag
+// is false (abandoned on cancellation) are skipped entirely.
+func mergeShots(shots []shotOutcome, done []bool, p Params, kind string) Result {
 	var res Result
-	for _, s := range shots {
-		if p.OnSample != nil {
-			for _, r := range s.readouts {
+	tr := p.Obs.Trace
+	var sp *obs.SpanHandle
+	if tr.Enabled() {
+		sp = tr.Start("anneal."+kind, obs.Int("shots", len(shots)), obs.Int("sweeps", p.Sweeps))
+	}
+	for shot, s := range shots {
+		if done != nil && !done[shot] {
+			continue
+		}
+		for _, r := range s.readouts {
+			if tr.Enabled() {
+				tr.Event("anneal.sample", obs.Int("shot", shot), obs.F64("energy", r.Energy))
+			}
+			if p.OnSample != nil {
 				p.OnSample(r.X, r.Energy)
 			}
 		}
 		res.record(s.best.X, s.best.Energy)
 		res.closeShot()
+		if tr.Enabled() {
+			tr.Event("anneal.shot", obs.Int("shot", shot), obs.F64("best_energy", res.Best.Energy))
+		}
+	}
+	if sp != nil {
+		sp.End(obs.F64("best_energy", res.Best.Energy), obs.Int("merged", len(res.BestAfterShot)))
 	}
 	return res
+}
+
+// runShots fans the per-shot work onto the deterministic pool, checking
+// the context at every shot boundary. Abandoned shots are excluded from
+// the merge, so on cancellation the caller still gets the best result
+// over every completed shot plus a wrapped ctx.Err(). A nil-context run
+// is exactly the historical behaviour.
+func runShots(ctx context.Context, p Params, kind string, run func(shot int) shotOutcome) (Result, error) {
+	shots := make([]shotOutcome, p.Shots)
+	done := make([]bool, p.Shots)
+	parallel.For(p.Shots, 1, func(lo, hi int) {
+		for shot := lo; shot < hi; shot++ {
+			if ctx.Err() != nil {
+				return
+			}
+			shots[shot] = run(shot)
+			done[shot] = true
+		}
+	})
+	res := mergeShots(shots, done, p, kind)
+	completed := 0
+	for _, d := range done {
+		if d {
+			completed++
+		}
+	}
+	emitShotMetrics(p, kind, shots, done, completed)
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("anneal: %s canceled after %d of %d shots: %w", kind, completed, p.Shots, err)
+	}
+	return res, nil
+}
+
+// emitShotMetrics folds completed-shot proposal accounting into the
+// metrics registry: totals plus an accept-rate gauge. All inputs are
+// per-shot deterministic, and the fold runs in shot order, so the dump
+// is bit-identical at any worker count.
+func emitShotMetrics(p Params, kind string, shots []shotOutcome, done []bool, completed int) {
+	mx := p.Obs.Metrics
+	if mx == nil {
+		return
+	}
+	var proposed, accepted int64
+	for shot, s := range shots {
+		if !done[shot] {
+			continue
+		}
+		proposed += s.proposed
+		accepted += s.accepted
+	}
+	mx.Add("anneal."+kind+".shots", int64(completed))
+	mx.Add("anneal."+kind+".proposed", proposed)
+	mx.Add("anneal."+kind+".accepted", accepted)
+	if proposed > 0 {
+		mx.SetGauge("anneal."+kind+".accept_rate", float64(accepted)/float64(proposed))
+	}
 }
 
 // SA runs classical simulated annealing: per shot, a random start followed
@@ -155,18 +251,21 @@ func mergeShots(shots []shotOutcome, p Params) Result {
 // anneals with seeds derived from Params.Seed and the shot index, so they
 // run on parallel workers; results are bit-identical at any worker count.
 func SA(m *qubo.Model, p Params) (Result, error) {
+	return SACtx(context.Background(), m, p)
+}
+
+// SACtx is SA under a context: cancellation is honoured at shot
+// boundaries, returning the best result over completed shots plus an
+// error wrapping ctx.Err().
+func SACtx(ctx context.Context, m *qubo.Model, p Params) (Result, error) {
 	if m.N() == 0 {
 		return Result{}, fmt.Errorf("anneal: empty model")
 	}
 	p = p.withDefaults()
 	c := m.Compile()
-	shots := make([]shotOutcome, p.Shots)
-	parallel.For(p.Shots, 1, func(lo, hi int) {
-		for shot := lo; shot < hi; shot++ {
-			shots[shot] = saShot(c, p, shot)
-		}
+	return runShots(ctx, p, "sa", func(shot int) shotOutcome {
+		return saShot(c, p, shot)
 	})
-	return mergeShots(shots, p), nil
 }
 
 // saShot runs one annealing shot on its own RNG stream.
@@ -184,7 +283,9 @@ func saShot(c *qubo.Compiled, p Params, shot int) shotOutcome {
 		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
 		for _, i := range order {
 			delta := c.FlipDelta(x, i)
+			out.proposed++
 			if delta <= 0 || rng.Float64() < math.Exp(-beta*delta) {
+				out.accepted++
 				x[i] = !x[i]
 				energy += delta
 				if energy < out.best.Energy {
@@ -201,7 +302,7 @@ func saShot(c *qubo.Compiled, p Params, shot int) shotOutcome {
 			}
 		}
 	}
-	if p.OnSample != nil {
+	if p.wantReadouts() {
 		out.readouts = []Sample{{X: append([]bool(nil), x...), Energy: c.Energy(x)}}
 	}
 	return out

@@ -1,9 +1,11 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/qubo"
 )
 
@@ -16,6 +18,12 @@ type HybridParams struct {
 	Seed       int64
 	// Restarts per improvement round (default 8).
 	Restarts int
+	// Obs carries the observability subsystem; the hybrid loop emits
+	// one "anneal.hybrid.round" event per improvement round. Because
+	// the round count is wall-clock driven (the MinRuntime contract),
+	// hybrid traces are NOT covered by the bit-identical determinism
+	// guarantee — unlike every fixed-budget sampler above.
+	Obs obs.Obs
 }
 
 // HybridResult is the hybrid solver outcome.
@@ -31,6 +39,14 @@ type HybridResult struct {
 // problem sizes it is essentially always optimal, matching the single
 // near-optimal star the figures show for haMKP.
 func Hybrid(m *qubo.Model, p HybridParams) (HybridResult, error) {
+	return HybridCtx(context.Background(), m, p)
+}
+
+// HybridCtx is Hybrid under a context: cancellation is honoured at
+// round boundaries (and inside each round's SA fan-out), returning the
+// best assignment found so far plus an error wrapping ctx.Err(). The
+// MinRuntime contract yields to cancellation.
+func HybridCtx(ctx context.Context, m *qubo.Model, p HybridParams) (HybridResult, error) {
 	if m.N() == 0 {
 		return HybridResult{}, fmt.Errorf("anneal: empty model")
 	}
@@ -48,11 +64,23 @@ func Hybrid(m *qubo.Model, p HybridParams) (HybridResult, error) {
 	var out HybridResult
 	seed := p.Seed
 	for out.Rounds == 0 || time.Since(start) < p.MinRuntime { //lint:allow walltime MinRuntime is the solver's documented wall-clock contract (the D-Wave Hybrid floor); rounds are seeded deterministically within it
+		if cerr := ctx.Err(); cerr != nil {
+			out.Elapsed = time.Since(start)
+			return out, fmt.Errorf("anneal: hybrid canceled after %d rounds: %w", out.Rounds, cerr)
+		}
 		out.Rounds++
-		// Annealed candidates...
-		res, err := SA(m, Params{Shots: p.Restarts, Sweeps: 64, Seed: seed})
+		// Annealed candidates... (SA's own trace span would interleave
+		// nondeterministically with the round events, so only metrics
+		// flow through; the hybrid path is wall-clock driven anyway.)
+		res, err := SACtx(ctx, m, Params{Shots: p.Restarts, Sweeps: 64, Seed: seed, Obs: obs.Obs{Metrics: p.Obs.Metrics}})
 		if err != nil {
-			return HybridResult{}, err
+			// Fold whatever the interrupted fan-out completed before
+			// handing back the best-so-far.
+			if res.Best.X != nil && (out.Best.X == nil || res.Best.Energy < out.Best.Energy) {
+				out.Best = Sample{X: append([]bool(nil), res.Best.X...), Energy: res.Best.Energy}
+			}
+			out.Elapsed = time.Since(start)
+			return out, err
 		}
 		seed += int64(p.Restarts) + 1
 		// ...polished to local optimality.
@@ -60,6 +88,9 @@ func Hybrid(m *qubo.Model, p HybridParams) (HybridResult, error) {
 		energy := SteepestDescent(c, x)
 		if out.Best.X == nil || energy < out.Best.Energy {
 			out.Best = Sample{X: x, Energy: energy}
+		}
+		if p.Obs.Trace.Enabled() {
+			p.Obs.Trace.Event("anneal.hybrid.round", obs.Int("round", out.Rounds), obs.F64("best_energy", out.Best.Energy))
 		}
 	}
 	out.Elapsed = time.Since(start)

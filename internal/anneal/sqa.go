@@ -1,12 +1,12 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
-	"repro/internal/parallel"
 	"repro/internal/qubo"
 )
 
@@ -25,12 +25,19 @@ import (
 // per-shot sweep count plays the paper's annealing time Δt, and the shot
 // count its sample count s.
 func SQA(m *qubo.Model, p Params) (Result, error) {
+	return SQACtx(context.Background(), m, p)
+}
+
+// SQACtx is SQA under a context: cancellation is honoured at shot
+// boundaries, returning the best result over completed shots plus an
+// error wrapping ctx.Err().
+func SQACtx(ctx context.Context, m *qubo.Model, p Params) (Result, error) {
 	if m.N() == 0 {
 		return Result{}, fmt.Errorf("anneal: empty model")
 	}
 	p = p.withDefaults()
 	is := m.ToIsing()
-	return sqaIsing(is, p, nil)
+	return sqaIsing(ctx, is, p, nil)
 }
 
 // isingAdj is the flattened neighbour structure for fast field updates.
@@ -93,21 +100,18 @@ func (a *isingAdj) energy(s []int8) float64 {
 // shot anneals on its own RNG stream derived from Params.Seed and the
 // shot index, and outcomes merge in shot order — results are
 // bit-identical at any worker count.
-func sqaIsing(is *qubo.Ising, p Params, unembed func([]int8) ([]bool, float64)) (Result, error) {
+func sqaIsing(ctx context.Context, is *qubo.Ising, p Params, unembed func([]int8) ([]bool, float64)) (Result, error) {
 	a := compileIsing(is)
-	shots := make([]shotOutcome, p.Shots)
-	parallel.For(p.Shots, 1, func(lo, hi int) {
-		for shot := lo; shot < hi; shot++ {
-			shots[shot] = sqaShot(a, p, unembed, shot)
-		}
+	return runShots(ctx, p, "sqa", func(shot int) shotOutcome {
+		return sqaShot(a, p, unembed, shot)
 	})
-	return mergeShots(shots, p), nil
 }
 
 // sqaShot runs one PIMC shot on its own RNG stream and returns its best
 // slice (earliest slice wins energy ties, as in a serial scan) plus every
 // slice readout for the OnSample hook.
 func sqaShot(a *isingAdj, p Params, unembed func([]int8) ([]bool, float64), shot int) shotOutcome {
+	var out shotOutcome
 	rng := rand.New(rand.NewSource(shotSeed(p.Seed, shot)))
 	P := p.Trotter
 	spins := make([][]int8, P)
@@ -135,7 +139,9 @@ func sqaShot(a *isingAdj, p Params, unembed func([]int8) ([]bool, float64), shot
 				dClassical := -2 * si * a.localField(cur, i) / float64(P)
 				dQuantum := 2 * jPerp * si * float64(up[i]+down[i])
 				d := dClassical + dQuantum
+				out.proposed++
 				if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
+					out.accepted++
 					cur[i] = -cur[i]
 				}
 			}
@@ -150,7 +156,9 @@ func sqaShot(a *isingAdj, p Params, unembed func([]int8) ([]bool, float64), shot
 			for sl := 0; sl < P; sl++ {
 				d += -2 * float64(spins[sl][i]) * a.localField(spins[sl], i) / float64(P)
 			}
+			out.proposed++
 			if d <= 0 || rng.Float64() < math.Exp(-beta*d) {
+				out.accepted++
 				for sl := 0; sl < P; sl++ {
 					spins[sl][i] = -spins[sl][i]
 				}
@@ -161,7 +169,6 @@ func sqaShot(a *isingAdj, p Params, unembed func([]int8) ([]bool, float64), shot
 	// here (no incremental accumulation survives the sweeps), so the
 	// recorded best is exact by construction — the same audit the SA path
 	// enforces by reconciling on record.
-	var out shotOutcome
 	for sl := 0; sl < P; sl++ {
 		var x []bool
 		var e float64
@@ -173,7 +180,7 @@ func sqaShot(a *isingAdj, p Params, unembed func([]int8) ([]bool, float64), shot
 		if out.best.X == nil || e < out.best.Energy {
 			out.best = Sample{X: append([]bool(nil), x...), Energy: e}
 		}
-		if p.OnSample != nil {
+		if p.wantReadouts() {
 			out.readouts = append(out.readouts, Sample{X: x, Energy: e})
 		}
 	}
@@ -213,6 +220,12 @@ func gammaAt(p Params, sweep int) float64 {
 // the anneal. Reported energies are unaffected — the unembed callback
 // evaluates the ORIGINAL logical objective.
 func RunEmbeddedIsing(is *qubo.Ising, p Params, unembed func([]int8) ([]bool, float64)) (Result, error) {
+	return RunEmbeddedIsingCtx(context.Background(), is, p, unembed)
+}
+
+// RunEmbeddedIsingCtx is RunEmbeddedIsing under a context, honouring
+// cancellation at shot boundaries like the other samplers.
+func RunEmbeddedIsingCtx(ctx context.Context, is *qubo.Ising, p Params, unembed func([]int8) ([]bool, float64)) (Result, error) {
 	if is.N == 0 {
 		return Result{}, fmt.Errorf("anneal: empty Ising")
 	}
@@ -238,5 +251,5 @@ func RunEmbeddedIsing(is *qubo.Ising, p Params, unembed func([]int8) ([]bool, fl
 		}
 		is = scaled
 	}
-	return sqaIsing(is, p, unembed)
+	return sqaIsing(ctx, is, p, unembed)
 }

@@ -8,6 +8,12 @@
 //   - QAMKP (Algorithm 4): the QUBO reformulation solved on the annealing
 //     substrate (see qamkp.go).
 //
+// The context-first entry points — Solve, SolveTKP, SolveMKP, SolveAnneal
+// in solve.go — are the primary API: they honour cancellation, return the
+// typed sentinels of errors.go, and carry the observability subsystem
+// (internal/obs) through every layer. QTKP/QMKP/QAMKP remain as thin
+// background-context wrappers with their original signatures.
+//
 // The gate-based algorithms run on the hybrid simulator (exact, see
 // DESIGN.md) and report three costs: wall-clock of the simulation, gate
 // counts, and a modelled QPU time (gates × per-gate latency) that plays
@@ -15,14 +21,14 @@
 package core
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	"math/rand"
 	"time"
 
-	"repro/internal/fastoracle"
 	"repro/internal/graph"
 	"repro/internal/grover"
-	"repro/internal/kplex"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 )
 
@@ -103,22 +109,26 @@ func fastPathOK(n int, o GateOptions) bool {
 }
 
 // QTKP finds a k-plex of size ≥ T in g, or reports absence (Algorithm 2).
+// It is SolveTKP under context.Background() with verified absence folded
+// back into (Found=false, nil error) — the original signature's
+// convention. Use SolveTKP for cancellation and the ErrInfeasible
+// distinction.
 func QTKP(g *graph.Graph, k, T int, opt *GateOptions) (TKPResult, error) {
-	o := opt.withDefaults(g.N())
-	start := time.Now()
-	orc, err := oracle.BuildOpts(g, k, T, oracle.Options{FastPath: fastPathOK(g.N(), o)})
-	if err != nil {
-		return TKPResult{}, err
+	res, err := SolveTKP(context.Background(), g, Spec{Algo: AlgoTKP, K: k, T: T, Gate: opt})
+	if errors.Is(err, ErrInfeasible) {
+		return res, nil
 	}
-	res, err := runTKP(g, orc, o)
-	if err != nil {
-		return TKPResult{}, err
-	}
-	res.WallTime = time.Since(start)
-	return res, nil
+	return res, err
 }
 
-func runTKP(g *graph.Graph, orc *oracle.Oracle, o GateOptions) (TKPResult, error) {
+// runTKP is one QTKP probe against a compiled oracle: truth-table sweep,
+// exact count, then the Grover engine.
+func runTKP(ctx context.Context, g *graph.Graph, orc *oracle.Oracle, o GateOptions, ob obs.Obs) (TKPResult, error) {
+	if cerr := ctx.Err(); cerr != nil {
+		// Check before the 2^n sweep: the truth table is the expensive
+		// half of a probe and cannot be usefully partial.
+		return TKPResult{}, cerr
+	}
 	// The 2^n sweep fans out over the internal/parallel worker pool
 	// (semantic word arithmetic when the oracle's fast path is on); the
 	// cached table then serves the Grover engine's parallel phase oracle
@@ -131,14 +141,14 @@ func runTKP(g *graph.Graph, orc *oracle.Oracle, o GateOptions) (TKPResult, error
 		}
 	}
 	pred := func(mask uint64) bool { return tt[mask] }
-	return runTKPPred(g.N(), pred, m, int64(orc.TotalGates()), o)
+	return runTKPPred(ctx, g.N(), pred, m, int64(orc.TotalGates()), o, ob)
 }
 
 // runTKPPred is the engine behind QTKP once the predicate and its exact
 // solution count are known, however they were obtained — a truth-table
-// sweep (runTKP) or the cross-threshold cplex table (QMKP). Given the
+// sweep (runTKP) or the cross-threshold cplex table (SolveMKP). Given the
 // same (pred, m, gates, rng) it is bit-identical across those sources.
-func runTKPPred(n int, pred func(uint64) bool, m int, gates int64, o GateOptions) (TKPResult, error) {
+func runTKPPred(ctx context.Context, n int, pred func(uint64) bool, m int, gates int64, o GateOptions, ob obs.Obs) (TKPResult, error) {
 	mEst := m
 	if o.QuantumCounting {
 		est, err := grover.CountMarked(n, o.CountingQubits, pred)
@@ -160,16 +170,16 @@ func runTKPPred(n int, pred func(uint64) bool, m int, gates int64, o GateOptions
 		// The wrong-conclusion probability of that procedure is the
 		// chance a real solution would have survived the schedule
 		// unmeasured, which is ≤ the usual π²/(4I)² bound.
-		sr := grover.Search(n, pred, 1, gates, 1, o.Rng)
+		sr, err := grover.SearchObs(ctx, n, pred, 1, gates, 1, o.Rng, ob)
 		res.Found = false
 		res.Iterations = sr.Stats.Iterations
 		res.OracleCalls = sr.Stats.OracleCalls
 		res.Gates = sr.Stats.Gates
 		res.QPUTime = time.Duration(res.Gates) * o.GateLatency
-		return res, nil
+		return res, err
 	}
 
-	sr := grover.Search(n, pred, mEst, gates, o.MaxTries, o.Rng)
+	sr, err := grover.SearchObs(ctx, n, pred, mEst, gates, o.MaxTries, o.Rng, ob)
 	res.Iterations = sr.Stats.Iterations
 	res.OracleCalls = sr.Stats.OracleCalls
 	res.Gates = sr.Stats.Gates
@@ -179,7 +189,7 @@ func runTKPPred(n int, pred func(uint64) bool, m int, gates int64, o GateOptions
 		res.Found = true
 		res.Set = graph.MaskSubset(sr.Mask, n)
 	}
-	return res, nil
+	return res, err
 }
 
 // ProgressPoint records one binary-search probe of QMKP — the progressive
@@ -210,107 +220,10 @@ type MKPResult struct {
 }
 
 // QMKP finds a maximum k-plex by binary search over QTKP (Algorithm 3).
+// It is SolveMKP under context.Background(); use SolveMKP for
+// cancellation with best-so-far results and typed errors.
 func QMKP(g *graph.Graph, k int, opt *GateOptions) (MKPResult, error) {
-	n := g.N()
-	if n < 1 {
-		return MKPResult{}, fmt.Errorf("core: empty graph")
-	}
-	if k < 1 || k > n {
-		return MKPResult{}, fmt.Errorf("core: k=%d out of range [1,%d]", k, n)
-	}
-	o := opt.withDefaults(n)
-	start := time.Now()
-
-	// Cross-threshold cache: the k-plex half of the oracle predicate does
-	// not depend on T, so one parallel 2^n sweep (packed bitset + popcount
-	// histogram) serves every probe of the binary search — each probe's
-	// predicate is a word lookup and its exact solution count M(T) a
-	// histogram suffix sum, instead of a fresh per-T sweep.
-	var tab *fastoracle.Table
-	if fastPathOK(n, o) {
-		eval, err := fastoracle.New(g, k)
-		if err != nil {
-			return MKPResult{}, err
-		}
-		tab = eval.Table()
-	}
-
-	var out MKPResult
-	lo, hi := 1, n
-	if o.UseClassicalBounds {
-		lb := kplex.LowerBound(g, k)
-		if lb > lo {
-			lo = lb // a certified k-plex of this size exists
-		}
-		if ub := kplex.UpperBound(g, k); ub < hi {
-			hi = ub
-		}
-		// The greedy witness itself is a valid answer if no probe beats it.
-		if set := kplex.Greedy(g, k); len(set) > out.Size {
-			out.Set = set
-			out.Size = len(set)
-		}
-	}
-	missProb := 0.0
-	for lo <= hi {
-		T := (lo + hi + 1) / 2
-		// The circuit is still compiled per probe: gate counts and QPU
-		// time modelling come from it whichever path answers queries.
-		orc, err := oracle.BuildOpts(g, k, T, oracle.Options{FastPath: tab != nil})
-		if err != nil {
-			return MKPResult{}, err
-		}
-		var probe TKPResult
-		if tab != nil {
-			probe, err = runTKPPred(n, tab.Predicate(T), tab.CountAtLeast(T), int64(orc.TotalGates()), o)
-		} else {
-			probe, err = runTKP(g, orc, o)
-		}
-		if err != nil {
-			return MKPResult{}, err
-		}
-		out.OracleCalls += probe.OracleCalls
-		out.Gates += probe.Gates
-		pt := ProgressPoint{
-			T:          T,
-			Found:      probe.Found,
-			CumGates:   out.Gates,
-			CumQPUTime: time.Duration(out.Gates) * o.GateLatency,
-		}
-		if probe.Found {
-			pt.Size = len(probe.Set)
-			pt.Set = probe.Set
-			if len(probe.Set) > out.Size {
-				out.Set = probe.Set
-				out.Size = len(probe.Set)
-			}
-			// Per-run miss chance after MaxTries verified retries
-			// (Section V-A's error metric).
-			perTry := probe.ErrorProbability
-			p := 1.0
-			for i := 0; i < o.MaxTries; i++ {
-				p *= perTry
-			}
-			missProb = 1 - (1-missProb)*(1-p)
-			if out.FirstFeasible == nil {
-				cp := pt
-				out.FirstFeasible = &cp
-			}
-			// The probe may overshoot T (a verified plex larger than
-			// asked for); binary search resumes above what we hold.
-			lo = pt.Size + 1
-			if lo <= T {
-				lo = T + 1
-			}
-		} else {
-			hi = T - 1
-		}
-		out.Progress = append(out.Progress, pt)
-	}
-	out.QPUTime = time.Duration(out.Gates) * o.GateLatency
-	out.WallTime = time.Since(start)
-	out.ErrorProbability = missProb
-	return out, nil
+	return SolveMKP(context.Background(), g, Spec{Algo: AlgoMKP, K: k, Gate: opt})
 }
 
 // OracleBreakdown compiles the oracle for (g, k, T) and returns the

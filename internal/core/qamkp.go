@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/anneal"
 	"repro/internal/embedding"
 	"repro/internal/graph"
 	"repro/internal/qubo"
@@ -89,70 +89,11 @@ type QAResult struct {
 
 // QAMKP finds a (maximum) k-plex by quantum annealing on the QUBO
 // reformulation (Algorithm 4). Annealing is an anytime approximation: the
-// caller chooses the budget via DeltaT and Shots.
+// caller chooses the budget via DeltaT and Shots. It is SolveAnneal under
+// context.Background(); use SolveAnneal for cancellation with
+// best-over-completed-shots results and typed errors.
 func QAMKP(g *graph.Graph, k int, opt *AnnealOptions) (QAResult, error) {
-	o := opt.annealDefaults()
-	enc, err := qubo.FormulateMKP(g, k, o.R)
-	if err != nil {
-		return QAResult{}, err
-	}
-	out := QAResult{
-		Variables: enc.Model.N(),
-		SlackVars: enc.NumSlackVars(),
-	}
-
-	var bestValid []int
-	onSample := func(x []bool, _ float64) {
-		set, valid := enc.DecodeValid(x)
-		if valid && len(set) > len(bestValid) {
-			bestValid = append([]int(nil), set...)
-		}
-	}
-	params := anneal.Params{
-		Shots:    o.Shots,
-		Sweeps:   o.DeltaT * SweepsPerMicrosecond,
-		Seed:     o.Seed,
-		OnSample: onSample,
-	}
-	var res anneal.Result
-	switch {
-	case o.Embed:
-		emb, _, err := EmbedOnHardware(enc.Model, o.Seed)
-		if err != nil {
-			return QAResult{}, err
-		}
-		stats := emb.Stats()
-		out.EmbedStats = &stats
-		res, err = embedding.SampleEmbedded(enc.Model, emb, o.ChainStrength, params)
-		if err != nil {
-			return QAResult{}, err
-		}
-	case o.Sampler == "sqa":
-		res, err = anneal.SQA(enc.Model, params)
-	case o.Sampler == "sa":
-		res, err = anneal.SA(enc.Model, params)
-	case o.Sampler == "hybrid":
-		h, herr := anneal.Hybrid(enc.Model, anneal.HybridParams{Seed: o.Seed})
-		if herr != nil {
-			return QAResult{}, herr
-		}
-		res = anneal.Result{Best: h.Best, BestAfterShot: []float64{h.Best.Energy}}
-	default:
-		return QAResult{}, fmt.Errorf("core: unknown sampler %q", o.Sampler)
-	}
-	if err != nil {
-		return QAResult{}, err
-	}
-
-	out.Cost = res.Best.Energy
-	out.Trace = res.BestAfterShot
-	out.Set, out.Valid = enc.DecodeValid(res.Best.X)
-	out.Size = len(out.Set)
-	if set, valid := enc.DecodeValid(res.Best.X); valid && len(set) > len(bestValid) {
-		bestValid = set
-	}
-	out.BestValidSet = bestValid
-	return out, nil
+	return SolveAnneal(context.Background(), g, Spec{Algo: AlgoAnneal, K: k, Anneal: opt})
 }
 
 // cmrVariableLimit bounds the heuristic router: beyond this many logical

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/embedding"
+	"repro/internal/fastoracle"
+	"repro/internal/graph"
+	"repro/internal/kplex"
+	"repro/internal/obs"
+	"repro/internal/oracle"
+	"repro/internal/qubo"
+)
+
+// Algo selects the algorithm a Spec requests.
+type Algo string
+
+// The three contributed algorithms (paper Algorithms 2–4).
+const (
+	AlgoTKP    Algo = "qtkp"
+	AlgoMKP    Algo = "qmkp"
+	AlgoAnneal Algo = "qamkp"
+)
+
+// MaxGateVertices caps the gate-model entry points: the Grover engine
+// holds a dense 2^n statevector over the vertex register, so 24
+// vertices (256 MiB of amplitudes) is the practical ceiling. Larger
+// instances return ErrTooLarge; the annealing path has no such cap.
+const MaxGateVertices = 24
+
+// Spec is a solve request. Exactly the fields relevant to Algo are
+// consulted: K everywhere, T for AlgoTKP, Gate for the gate-model
+// algorithms, Anneal for AlgoAnneal. Obs carries the observability
+// subsystem; its zero value is inert and costs nothing.
+type Spec struct {
+	Algo   Algo
+	K      int
+	T      int
+	Gate   *GateOptions
+	Anneal *AnnealOptions
+	Obs    obs.Obs
+}
+
+// Result is the union of the per-algorithm outcomes; the field matching
+// Spec.Algo is non-nil. On cancellation the partial result is still
+// populated alongside ErrCanceled.
+type Result struct {
+	Algo Algo
+	TKP  *TKPResult
+	MKP  *MKPResult
+	QA   *QAResult
+}
+
+// Solve dispatches a Spec to the algorithm it requests. Cancellation
+// and deadline on ctx are honoured at probe, Grover-try, and anneal
+// shot-batch boundaries; on cancellation the best result found so far
+// comes back alongside an error wrapping ErrCanceled.
+func Solve(ctx context.Context, g *graph.Graph, spec Spec) (Result, error) {
+	switch spec.Algo {
+	case AlgoTKP:
+		res, err := SolveTKP(ctx, g, spec)
+		return Result{Algo: AlgoTKP, TKP: &res}, err
+	case AlgoMKP:
+		res, err := SolveMKP(ctx, g, spec)
+		return Result{Algo: AlgoMKP, MKP: &res}, err
+	case AlgoAnneal:
+		res, err := SolveAnneal(ctx, g, spec)
+		return Result{Algo: AlgoAnneal, QA: &res}, err
+	}
+	return Result{}, fmt.Errorf("core: unknown algorithm %q: %w", spec.Algo, ErrBadSpec)
+}
+
+// gateSpecCheck validates the shared gate-model invariants and returns
+// the vertex count.
+func gateSpecCheck(g *graph.Graph, k int) (int, error) {
+	if g == nil || g.N() < 1 {
+		return 0, fmt.Errorf("core: empty graph: %w", ErrBadSpec)
+	}
+	n := g.N()
+	if k < 1 || k > n {
+		return 0, fmt.Errorf("core: k=%d out of range [1,%d]: %w", k, n, ErrBadSpec)
+	}
+	if n > MaxGateVertices {
+		return 0, fmt.Errorf("core: n=%d exceeds the %d-vertex statevector cap: %w", n, MaxGateVertices, ErrTooLarge)
+	}
+	return n, nil
+}
+
+// isCtxErr reports whether err stems from context cancellation or
+// deadline expiry, however deeply wrapped.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// canceled wraps a context-caused failure of one algorithm into the
+// ErrCanceled sentinel, keeping the cause in the chain.
+func canceled(algo Algo, err error) error {
+	return fmt.Errorf("%w (%s): %w", ErrCanceled, algo, err)
+}
+
+// SolveTKP runs QTKP (Algorithm 2) under a context: find a k-plex of
+// size ≥ spec.T or certify absence. Unlike the QTKP wrapper, a verified
+// absence returns the fully-accounted result alongside ErrInfeasible,
+// so "not found" and "found" are distinguishable without inspecting the
+// result struct.
+func SolveTKP(ctx context.Context, g *graph.Graph, spec Spec) (TKPResult, error) {
+	n, err := gateSpecCheck(g, spec.K)
+	if err != nil {
+		return TKPResult{}, err
+	}
+	if spec.T < 1 || spec.T > n {
+		return TKPResult{}, fmt.Errorf("core: T=%d out of range [1,%d]: %w", spec.T, n, ErrBadSpec)
+	}
+	o := spec.Gate.withDefaults(n)
+	start := time.Now()
+	tr := spec.Obs.Trace
+	var sp *obs.SpanHandle
+	if tr.Enabled() {
+		sp = tr.Start("qtkp", obs.Int("n", n), obs.Int("k", spec.K), obs.Int("T", spec.T))
+	}
+	orc, err := oracle.BuildOpts(g, spec.K, spec.T, oracle.Options{
+		FastPath: fastPathOK(n, o),
+		Metrics:  spec.Obs.Metrics,
+	})
+	if err != nil {
+		sp.End()
+		return TKPResult{}, err
+	}
+	res, err := runTKP(ctx, g, orc, o, spec.Obs)
+	res.WallTime = time.Since(start)
+	if sp != nil {
+		sp.End(obs.Bool("found", res.Found), obs.Int("size", len(res.Set)))
+	}
+	if err != nil {
+		if isCtxErr(err) {
+			return res, canceled(AlgoTKP, err)
+		}
+		return res, err
+	}
+	if !res.Found {
+		return res, fmt.Errorf("core: no %d-plex of size >= %d in the graph: %w", spec.K, spec.T, ErrInfeasible)
+	}
+	return res, nil
+}
+
+// SolveMKP runs QMKP (Algorithm 3) under a context: binary search for a
+// maximum k-plex. The context is checked at every probe boundary and
+// inside each probe's Grover try loop; on cancellation the result holds
+// everything the completed probes established (best set, progress
+// stream, cost accounting) alongside ErrCanceled.
+func SolveMKP(ctx context.Context, g *graph.Graph, spec Spec) (MKPResult, error) {
+	n, err := gateSpecCheck(g, spec.K)
+	if err != nil {
+		return MKPResult{}, err
+	}
+	k := spec.K
+	o := spec.Gate.withDefaults(n)
+	start := time.Now()
+	tr := spec.Obs.Trace
+	mx := spec.Obs.Metrics
+
+	// Cross-threshold cache: the k-plex half of the oracle predicate does
+	// not depend on T, so one parallel 2^n sweep (packed bitset + popcount
+	// histogram) serves every probe of the binary search — each probe's
+	// predicate is a word lookup and its exact solution count M(T) a
+	// histogram suffix sum, instead of a fresh per-T sweep.
+	var tab *fastoracle.Table
+	if fastPathOK(n, o) {
+		eval, err := fastoracle.New(g, k)
+		if err != nil {
+			return MKPResult{}, err
+		}
+		tab = eval.Table()
+	}
+	tabHits := mx.Counter("fastoracle.table.hits") // nil when metrics are off
+
+	var root *obs.SpanHandle
+	if tr.Enabled() {
+		root = tr.Start("qmkp", obs.Int("n", n), obs.Int("k", k), obs.Bool("fastpath", tab != nil))
+	}
+
+	var out MKPResult
+	missProb := 0.0
+	// finish stamps the run-level accounting; called on every exit path
+	// so cancelled runs report what they did complete.
+	finish := func() {
+		out.QPUTime = time.Duration(out.Gates) * o.GateLatency
+		out.WallTime = time.Since(start)
+		out.ErrorProbability = missProb
+		if mx != nil {
+			mx.Add("core.qmkp.probes", int64(len(out.Progress)))
+			mx.Add("core.qmkp.oracle_calls", int64(out.OracleCalls))
+			mx.Add("core.qmkp.gates", out.Gates)
+			mx.SetGauge("core.qmkp.error_probability", missProb)
+		}
+		if root != nil {
+			root.End(obs.Int("size", out.Size), obs.Int("probes", len(out.Progress)))
+		}
+	}
+
+	lo, hi := 1, n
+	if o.UseClassicalBounds {
+		lb := kplex.LowerBound(g, k)
+		if lb > lo {
+			lo = lb // a certified k-plex of this size exists
+		}
+		if ub := kplex.UpperBound(g, k); ub < hi {
+			hi = ub
+		}
+		// The greedy witness itself is a valid answer if no probe beats it.
+		if set := kplex.Greedy(g, k); len(set) > out.Size {
+			out.Set = set
+			out.Size = len(set)
+		}
+	}
+	for lo <= hi {
+		if cerr := ctx.Err(); cerr != nil {
+			finish()
+			return out, canceled(AlgoMKP, cerr)
+		}
+		T := (lo + hi + 1) / 2
+		// The circuit is still compiled per probe: gate counts and QPU
+		// time modelling come from it whichever path answers queries.
+		orc, err := oracle.BuildOpts(g, k, T, oracle.Options{FastPath: tab != nil, Metrics: mx})
+		if err != nil {
+			finish()
+			return out, err
+		}
+		var sp *obs.SpanHandle
+		if tr.Enabled() {
+			sp = tr.Start("qmkp.probe", obs.Int("T", T), obs.Int("lo", lo), obs.Int("hi", hi))
+		}
+		var probe TKPResult
+		if tab != nil {
+			probe, err = runTKPPred(ctx, n, tab.CountedPredicate(T, tabHits), tab.CountAtLeast(T), int64(orc.TotalGates()), o, spec.Obs)
+		} else {
+			probe, err = runTKP(ctx, g, orc, o, spec.Obs)
+		}
+		// Cost performed so far counts even when the probe was cut short.
+		out.OracleCalls += probe.OracleCalls
+		out.Gates += probe.Gates
+		if sp != nil {
+			sp.End(obs.Bool("found", probe.Found), obs.Int("size", len(probe.Set)), obs.Int64("cum_gates", out.Gates))
+		}
+		if err != nil {
+			finish()
+			if isCtxErr(err) {
+				return out, canceled(AlgoMKP, err)
+			}
+			return out, err
+		}
+		pt := ProgressPoint{
+			T:          T,
+			Found:      probe.Found,
+			CumGates:   out.Gates,
+			CumQPUTime: time.Duration(out.Gates) * o.GateLatency,
+		}
+		if probe.Found {
+			pt.Size = len(probe.Set)
+			pt.Set = probe.Set
+			if len(probe.Set) > out.Size {
+				out.Set = probe.Set
+				out.Size = len(probe.Set)
+			}
+			// Per-run miss chance after MaxTries verified retries
+			// (Section V-A's error metric).
+			perTry := probe.ErrorProbability
+			p := 1.0
+			for i := 0; i < o.MaxTries; i++ {
+				p *= perTry
+			}
+			missProb = 1 - (1-missProb)*(1-p)
+			if out.FirstFeasible == nil {
+				cp := pt
+				out.FirstFeasible = &cp
+				if tr.Enabled() {
+					tr.Event("qmkp.first_feasible", obs.Int("T", T), obs.Int("size", pt.Size), obs.Int64("cum_gates", pt.CumGates))
+				}
+			}
+			// The probe may overshoot T (a verified plex larger than
+			// asked for); binary search resumes above what we hold.
+			lo = pt.Size + 1
+			if lo <= T {
+				lo = T + 1
+			}
+		} else {
+			hi = T - 1
+		}
+		out.Progress = append(out.Progress, pt)
+	}
+	finish()
+	return out, nil
+}
+
+// SolveAnneal runs QAMKP (Algorithm 4) under a context: the QUBO
+// reformulation on the annealing substrate. Cancellation is honoured at
+// shot-batch boundaries; the best assignment over completed shots is
+// decoded and returned alongside ErrCanceled.
+func SolveAnneal(ctx context.Context, g *graph.Graph, spec Spec) (QAResult, error) {
+	if g == nil || g.N() < 1 {
+		return QAResult{}, fmt.Errorf("core: empty graph: %w", ErrBadSpec)
+	}
+	if spec.K < 1 || spec.K > g.N() {
+		return QAResult{}, fmt.Errorf("core: k=%d out of range [1,%d]: %w", spec.K, g.N(), ErrBadSpec)
+	}
+	o := spec.Anneal.annealDefaults()
+	enc, err := qubo.FormulateMKP(g, spec.K, o.R)
+	if err != nil {
+		return QAResult{}, err
+	}
+	out := QAResult{
+		Variables: enc.Model.N(),
+		SlackVars: enc.NumSlackVars(),
+	}
+	tr := spec.Obs.Trace
+	var sp *obs.SpanHandle
+	if tr.Enabled() {
+		sp = tr.Start("qamkp", obs.Int("n", g.N()), obs.Int("k", spec.K),
+			obs.Str("sampler", o.Sampler), obs.Int("shots", o.Shots),
+			obs.Int("variables", out.Variables), obs.Bool("embed", o.Embed))
+	}
+
+	var bestValid []int
+	onSample := func(x []bool, _ float64) {
+		set, valid := enc.DecodeValid(x)
+		if valid && len(set) > len(bestValid) {
+			bestValid = append([]int(nil), set...)
+		}
+	}
+	params := anneal.Params{
+		Shots:    o.Shots,
+		Sweeps:   o.DeltaT * SweepsPerMicrosecond,
+		Seed:     o.Seed,
+		OnSample: onSample,
+		Obs:      spec.Obs,
+	}
+	var res anneal.Result
+	var runErr error
+	switch {
+	case o.Embed:
+		emb, _, err := EmbedOnHardware(enc.Model, o.Seed)
+		if err != nil {
+			sp.End()
+			return QAResult{}, err
+		}
+		stats := emb.Stats()
+		out.EmbedStats = &stats
+		res, runErr = embedding.SampleEmbeddedCtx(ctx, enc.Model, emb, o.ChainStrength, params)
+	case o.Sampler == "sqa":
+		res, runErr = anneal.SQACtx(ctx, enc.Model, params)
+	case o.Sampler == "sa":
+		res, runErr = anneal.SACtx(ctx, enc.Model, params)
+	case o.Sampler == "hybrid":
+		var h anneal.HybridResult
+		h, runErr = anneal.HybridCtx(ctx, enc.Model, anneal.HybridParams{Seed: o.Seed, Obs: spec.Obs})
+		res = anneal.Result{Best: h.Best}
+		if h.Best.X != nil {
+			res.BestAfterShot = []float64{h.Best.Energy}
+		}
+	default:
+		sp.End()
+		return QAResult{}, fmt.Errorf("core: unknown sampler %q: %w", o.Sampler, ErrBadSpec)
+	}
+	if runErr != nil && !isCtxErr(runErr) {
+		sp.End()
+		return QAResult{}, runErr
+	}
+
+	// Decode whatever came back — on cancellation this is the best over
+	// the completed shots, preserving the anytime semantics.
+	out.Cost = res.Best.Energy
+	out.Trace = res.BestAfterShot
+	if res.Best.X != nil {
+		out.Set, out.Valid = enc.DecodeValid(res.Best.X)
+		out.Size = len(out.Set)
+		if set, valid := enc.DecodeValid(res.Best.X); valid && len(set) > len(bestValid) {
+			bestValid = set
+		}
+	}
+	out.BestValidSet = bestValid
+	if sp != nil {
+		sp.End(obs.Int("size", out.Size), obs.Bool("valid", out.Valid), obs.Int("shots_merged", len(out.Trace)))
+	}
+	if runErr != nil {
+		return out, canceled(AlgoAnneal, runErr)
+	}
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package embedding
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -153,9 +154,15 @@ func (p *Physical) ChainBreakFraction(spins []int8) float64 {
 // returns logical results — the full QPU pipeline: embed → anneal →
 // majority-vote unembed.
 func SampleEmbedded(m *qubo.Model, e *Embedding, chainStrength float64, params anneal.Params) (anneal.Result, error) {
+	return SampleEmbeddedCtx(context.Background(), m, e, chainStrength, params)
+}
+
+// SampleEmbeddedCtx is SampleEmbedded under a context: cancellation is
+// honoured at shot boundaries of the underlying SQA run.
+func SampleEmbeddedCtx(ctx context.Context, m *qubo.Model, e *Embedding, chainStrength float64, params anneal.Params) (anneal.Result, error) {
 	p, err := BuildPhysical(m, e, chainStrength)
 	if err != nil {
 		return anneal.Result{}, err
 	}
-	return anneal.RunEmbeddedIsing(p.Ising, params, p.Unembed)
+	return anneal.RunEmbeddedIsingCtx(ctx, p.Ising, params, p.Unembed)
 }

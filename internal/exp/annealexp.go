@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,8 +43,10 @@ func Table5(cfg Config) (Result, error) {
 			if shots < 1 {
 				shots = 1
 			}
-			res, err := core.QAMKP(g, 3, &core.AnnealOptions{
-				R: 2, DeltaT: dt, Shots: shots, Seed: cfg.seed(),
+			res, err := core.SolveAnneal(context.Background(), g, core.Spec{
+				Algo: core.AlgoAnneal, K: 3,
+				Anneal: &core.AnnealOptions{R: 2, DeltaT: dt, Shots: shots, Seed: cfg.seed()},
+				Obs:    cfg.Obs,
 			})
 			if err != nil {
 				return Result{}, fmt.Errorf("%s Δt=%d: %w", name, dt, err)
@@ -84,8 +87,10 @@ func Table6(cfg Config) (Result, error) {
 	for _, r := range []float64{1.1, 2, 4, 8} {
 		row := []string{fmt.Sprintf("%g", r)}
 		maxShots := runtimes[len(runtimes)-1]
-		res, err := core.QAMKP(g, 3, &core.AnnealOptions{
-			R: r, DeltaT: 1, Shots: maxShots, Seed: cfg.seed(),
+		res, err := core.SolveAnneal(context.Background(), g, core.Spec{
+			Algo: core.AlgoAnneal, K: 3,
+			Anneal: &core.AnnealOptions{R: r, DeltaT: 1, Shots: maxShots, Seed: cfg.seed()},
+			Obs:    cfg.Obs,
 		})
 		if err != nil {
 			return Result{}, err
@@ -95,8 +100,10 @@ func Table6(cfg Config) (Result, error) {
 		for _, rt := range runtimes {
 			cost := res.Trace[rt-1]
 			cell := fmt.Sprintf("%.1f", cost)
-			sub, err := core.QAMKP(g, 3, &core.AnnealOptions{
-				R: r, DeltaT: 1, Shots: rt, Seed: cfg.seed(),
+			sub, err := core.SolveAnneal(context.Background(), g, core.Spec{
+				Algo: core.AlgoAnneal, K: 3,
+				Anneal: &core.AnnealOptions{R: r, DeltaT: 1, Shots: rt, Seed: cfg.seed()},
+				Obs:    cfg.Obs,
 			})
 			if err != nil {
 				return Result{}, err
@@ -278,8 +285,10 @@ func Table7(cfg Config) (Result, error) {
 	}
 	maxShots := runtimes[len(runtimes)-1]
 	for k := 2; k <= 5; k++ {
-		res, err := core.QAMKP(g, k, &core.AnnealOptions{
-			R: 2, DeltaT: 1, Shots: maxShots, Seed: cfg.seed(),
+		res, err := core.SolveAnneal(context.Background(), g, core.Spec{
+			Algo: core.AlgoAnneal, K: k,
+			Anneal: &core.AnnealOptions{R: 2, DeltaT: 1, Shots: maxShots, Seed: cfg.seed()},
+			Obs:    cfg.Obs,
 		})
 		if err != nil {
 			return Result{}, err

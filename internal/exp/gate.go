@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -36,7 +37,11 @@ func Table1(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	g := d.Build()
-	res, err := core.QMKP(g, 2, &core.GateOptions{Rng: rand.New(rand.NewSource(cfg.seed()))})
+	res, err := core.SolveMKP(context.Background(), g, core.Spec{
+		Algo: core.AlgoMKP, K: 2,
+		Gate: &core.GateOptions{Rng: rand.New(rand.NewSource(cfg.seed()))},
+		Obs:  cfg.Obs,
+	})
 	if err != nil {
 		return Result{}, err
 	}
@@ -53,7 +58,11 @@ func Table1(cfg Config) (Result, error) {
 	if cfg.Quick {
 		shots = 20
 	}
-	qa, err := core.QAMKP(AnnealInput(da), 3, &core.AnnealOptions{Shots: shots, DeltaT: 5, Seed: cfg.seed()})
+	qa, err := core.SolveAnneal(context.Background(), AnnealInput(da), core.Spec{
+		Algo: core.AlgoAnneal, K: 3,
+		Anneal: &core.AnnealOptions{Shots: shots, DeltaT: 5, Seed: cfg.seed()},
+		Obs:    cfg.Obs,
+	})
 	if err != nil {
 		return Result{}, err
 	}
@@ -141,7 +150,11 @@ func gateRow(g *graph.Graph, k int, cfg Config) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	qm, err := core.QMKP(g, k, &core.GateOptions{Rng: rand.New(rand.NewSource(cfg.seed()))})
+	qm, err := core.SolveMKP(context.Background(), g, core.Spec{
+		Algo: core.AlgoMKP, K: k,
+		Gate: &core.GateOptions{Rng: rand.New(rand.NewSource(cfg.seed()))},
+		Obs:  cfg.Obs,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Table is a rendered experiment result in tabular form.
@@ -141,6 +143,10 @@ func (r Result) Render(w io.Writer) error {
 type Config struct {
 	Quick bool
 	Seed  int64
+	// Obs is threaded into every core solver call, so a driver run can
+	// collect the full probe-tree trace and the metric counters of the
+	// experiments it reproduces (cmd/experiments wires the flags).
+	Obs obs.Obs
 }
 
 func (c Config) seed() int64 {

@@ -10,10 +10,12 @@
 package grover
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/qsim"
 )
@@ -138,13 +140,34 @@ type Result struct {
 // (the inherent error probability of the paper's Section V-A), it retries
 // up to maxTries times, accumulating cost. maxTries ≤ 0 means 3.
 func Search(n int, pred Predicate, m int, gatesPerOracle int64, maxTries int, rng *rand.Rand) Result {
+	res, _ := SearchObs(context.Background(), n, pred, m, gatesPerOracle, maxTries, rng, obs.Obs{})
+	return res
+}
+
+// SearchObs is Search under a context and the observability carrier.
+// Cancellation is checked at try boundaries — a statevector iteration
+// batch is never abandoned half way, so the accumulated Stats stay
+// meaningful — and reported by wrapping ctx.Err(). Each try emits one
+// span carrying the iteration count and, on End, the measured mask and
+// verification outcome; emission happens on the calling goroutine, so
+// sequence numbers are deterministic.
+func SearchObs(ctx context.Context, n int, pred Predicate, m int, gatesPerOracle int64, maxTries int, rng *rand.Rand, o obs.Obs) (Result, error) {
 	if maxTries <= 0 {
 		maxTries = 3
 	}
 	e := NewEngine(n, pred, gatesPerOracle)
 	iters := OptimalIterations(n, m)
 	var res Result
+	var err error
 	for try := 0; try < maxTries; try++ {
+		if cerr := ctx.Err(); cerr != nil {
+			err = fmt.Errorf("grover: search canceled after %d of %d tries: %w", try, maxTries, cerr)
+			break
+		}
+		var sp *obs.SpanHandle
+		if o.Trace.Enabled() {
+			sp = o.Trace.Start("grover.try", obs.Int("try", try), obs.Int("iterations", iters))
+		}
 		if try > 0 {
 			e.Reset()
 		}
@@ -154,15 +177,24 @@ func Search(n int, pred Predicate, m int, gatesPerOracle int64, maxTries int, rn
 		// Classical verification of the measured candidate costs one
 		// more predicate evaluation.
 		e.stats.OracleCalls++
-		if pred(mask) {
-			res.Mask = mask
+		res.Mask = mask
+		hit := pred(mask)
+		if sp != nil {
+			sp.End(obs.Int64("mask", int64(mask)), obs.Bool("hit", hit),
+				obs.F64("error_probability", res.ErrorProbability))
+		}
+		if hit {
 			res.Found = true
 			break
 		}
-		res.Mask = mask
 	}
 	res.Stats = e.Stats()
-	return res
+	if mx := o.Metrics; mx != nil {
+		mx.Add("grover.oracle_calls", int64(res.Stats.OracleCalls))
+		mx.Add("grover.gates", res.Stats.Gates)
+		mx.Add("grover.iterations", int64(res.Stats.Iterations))
+	}
+	return res, err
 }
 
 // bbhtDraw draws the per-round Grover iteration count of the BBHT loop:

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64. Safe for concurrent use
+// from pool workers; nil-safe so uninstrumented runs pay one pointer
+// compare per bulk add.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is a last-write-wins float64 (accept rates, error bounds).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last value set, 0 before any Set.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Metrics is a named counter/gauge registry. Instruments are created
+// on first use and never removed, so a *Counter fetched once can be
+// bulk-added to from hot loops without touching the registry lock. The
+// nil *Metrics is inert.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the named counter, creating it if needed. Returns
+// nil (an inert counter) on a nil registry.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.counters[name]
+	if c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Add is the one-shot form of Counter(name).Add(d).
+func (m *Metrics) Add(name string, d int64) { m.Counter(name).Add(d) }
+
+// Gauge returns the named gauge, creating it if needed.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g := m.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// SetGauge is the one-shot form of Gauge(name).Set(v).
+func (m *Metrics) SetGauge(name string, v float64) { m.Gauge(name).Set(v) }
+
+// Snapshot returns point-in-time copies of every instrument.
+func (m *Metrics) Snapshot() (counters map[string]int64, gauges map[string]float64) {
+	counters = make(map[string]int64)
+	gauges = make(map[string]float64)
+	if m == nil {
+		return counters, gauges
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, c := range m.counters {
+		counters[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		gauges[name] = g.Value()
+	}
+	return counters, gauges
+}
+
+// WriteJSON dumps the registry as one JSON object with sorted keys —
+// {"counters":{...},"gauges":{...}} — so the dump is canonical for a
+// given state.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	counters, gauges := m.Snapshot()
+	buf := []byte(`{"counters":{`)
+	for i, name := range sortedKeys(counters) {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendQuoted(buf, name)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, counters[name], 10)
+	}
+	buf = append(buf, `},"gauges":{`...)
+	for i, name := range sortedKeys(gauges) {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendQuoted(buf, name)
+		buf = append(buf, ':')
+		buf = strconv.AppendFloat(buf, gauges[name], 'g', -1, 64)
+	}
+	buf = append(buf, "}}\n"...)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("obs: write metrics dump: %w", err)
+	}
+	return nil
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Expvar adapts the registry to an expvar.Var whose String() is the
+// same canonical JSON object WriteJSON emits (sans trailing newline).
+func (m *Metrics) Expvar() expvar.Func {
+	return expvar.Func(func() any {
+		counters, gauges := m.Snapshot()
+		return map[string]any{"counters": counters, "gauges": gauges}
+	})
+}
+
+// Publish registers the registry under name in the process-wide expvar
+// namespace. Call at most once per name (expvar panics on duplicates).
+func (m *Metrics) Publish(name string) {
+	expvar.Publish(name, m.Expvar())
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// emitTree drives one fixed span/event traversal through a Trace.
+func emitTree(tr *Trace) {
+	root := tr.Start("probe", Int("T", 5))
+	try := tr.Start("try", Int("try", 0))
+	tr.Event("measure", Int64("mask", 0b1011), Bool("hit", false))
+	try.End(Bool("hit", false))
+	try = tr.Start("try", Int("try", 1))
+	try.Event("measure", Int64("mask", 0b0111), Bool("hit", true))
+	try.End(Bool("hit", true))
+	root.End(Int("size", 3), F64("err", 0.125))
+}
+
+func TestTraceSequenceAndParentage(t *testing.T) {
+	rec := NewRecorder()
+	emitTree(NewTrace(rec))
+	if len(rec.Records) != 8 {
+		t.Fatalf("got %d records, want 8", len(rec.Records))
+	}
+	for i, r := range rec.Records {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("record %d has seq %d, want %d", i, r.Seq, i+1)
+		}
+	}
+	// Both "try" spans must be children of the "probe" span (ID 1).
+	for _, i := range []int{1, 4} {
+		r := rec.Records[i]
+		if r.Kind != KindStart || r.Name != "try" || r.Parent != 1 {
+			t.Errorf("record %d = %+v, want a try start with parent 1", i, r)
+		}
+	}
+	// The second measure event was emitted via the span handle and must
+	// still attach to that try span.
+	if ev := rec.Records[5]; ev.Kind != KindEvent || ev.Span != 3 {
+		t.Errorf("handle event attached to span %d, want 3 (%+v)", ev.Span, ev)
+	}
+}
+
+func TestWriteJSONLDeterministic(t *testing.T) {
+	var dumps []string
+	for range 3 {
+		rec := NewRecorder()
+		emitTree(NewTrace(rec))
+		var sb strings.Builder
+		if err := rec.WriteJSONL(&sb); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+		dumps = append(dumps, sb.String())
+	}
+	if dumps[0] != dumps[1] || dumps[1] != dumps[2] {
+		t.Fatalf("JSONL dumps differ across identical traversals:\n%s\n---\n%s", dumps[0], dumps[1])
+	}
+	want := `{"kind":"start","seq":1,"span":1,"parent":0,"name":"probe","attrs":{"T":5}}`
+	first, _, _ := strings.Cut(dumps[0], "\n")
+	if first != want {
+		t.Errorf("first line = %s\nwant        %s", first, want)
+	}
+	if strings.Contains(dumps[0], "elapsed") || strings.Contains(dumps[0], "Elapsed") {
+		t.Error("JSONL dump must not carry wall-time annotations")
+	}
+}
+
+func TestQuotedEscaping(t *testing.T) {
+	got := string(appendQuoted(nil, "a\"b\\c\nd"))
+	want := "\"a\\\"b\\\\c\\u000ad\""
+	if got != want {
+		t.Errorf("appendQuoted = %s, want %s", got, want)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Error("nil Trace reports Enabled")
+	}
+	sp := tr.Start("x", Int("a", 1))
+	tr.Event("y")
+	sp.Event("z")
+	sp.End()
+	if tr := NewTrace(nil); tr != nil {
+		t.Error("NewTrace(nil) should return a nil Trace")
+	}
+
+	var m *Metrics
+	m.Add("c", 3)
+	m.SetGauge("g", 0.5)
+	if c := m.Counter("c"); c.Value() != 0 {
+		t.Error("nil Metrics counter is not inert")
+	}
+	var sb strings.Builder
+	if err := m.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON on nil Metrics: %v", err)
+	}
+	if sb.String() != "{\"counters\":{},\"gauges\":{}}\n" {
+		t.Errorf("nil Metrics dump = %q", sb.String())
+	}
+}
+
+// TestNilTraceZeroAlloc pins the hot-path contract: with tracing off,
+// the Enabled guard keeps per-iteration emission at zero allocations.
+func TestNilTraceZeroAlloc(t *testing.T) {
+	var tr *Trace
+	c := (*Counter)(nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr.Enabled() {
+			sp := tr.Start("try", Int("try", 1))
+			sp.End(Bool("hit", true))
+		}
+		c.Add(7)
+	})
+	if allocs != 0 {
+		t.Errorf("guarded nil-observer emission allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestMetricsJSONSorted(t *testing.T) {
+	m := NewMetrics()
+	m.Add("z.second", 2)
+	m.Add("a.first", 1)
+	m.SetGauge("rate", 0.25)
+	var sb strings.Builder
+	if err := m.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	want := "{\"counters\":{\"a.first\":1,\"z.second\":2},\"gauges\":{\"rate\":0.25}}\n"
+	if sb.String() != want {
+		t.Errorf("dump = %q\nwant  %q", sb.String(), want)
+	}
+}
+
+func TestCounterReuseBypassesRegistry(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("oracle.calls")
+	c.Add(5)
+	c.Add(7)
+	if got := m.Counter("oracle.calls").Value(); got != 12 {
+		t.Errorf("counter value = %d, want 12", got)
+	}
+	g := m.Gauge("accept")
+	g.Set(0.75)
+	if got := m.Gauge("accept").Value(); got != 0.75 {
+		t.Errorf("gauge value = %v, want 0.75", got)
+	}
+}
+
+func TestExpvarAdapter(t *testing.T) {
+	m := NewMetrics()
+	m.Add("n", 1)
+	s := m.Expvar().String()
+	if !strings.Contains(s, `"n":1`) && !strings.Contains(s, `"n": 1`) {
+		t.Errorf("expvar dump missing counter: %s", s)
+	}
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+	"unicode/utf8"
+)
+
+// Record kinds as they appear in the JSONL "kind" field.
+const (
+	KindStart = "start"
+	KindEvent = "event"
+	KindEnd   = "end"
+)
+
+// Record is one retained trace entry. Elapsed is carried for human
+// consumption (end records only) and deliberately excluded from the
+// deterministic JSONL encoding.
+type Record struct {
+	Kind    string
+	Seq     uint64
+	Span    uint64
+	Parent  uint64
+	Name    string
+	Attrs   []Attr
+	Elapsed time.Duration
+}
+
+// Recorder is an Observer that retains every record in emission order
+// — which, by the Trace contract, is sequence-number order. It is the
+// backing store for -trace-out and the determinism tests.
+type Recorder struct {
+	Records []Record
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// OnSpanStart implements Observer.
+func (r *Recorder) OnSpanStart(s Span) {
+	r.Records = append(r.Records, Record{
+		Kind: KindStart, Seq: s.Seq, Span: s.ID, Parent: s.Parent,
+		Name: s.Name, Attrs: cloneAttrs(s.Attrs),
+	})
+}
+
+// OnEvent implements Observer.
+func (r *Recorder) OnEvent(e Event) {
+	r.Records = append(r.Records, Record{
+		Kind: KindEvent, Seq: e.Seq, Span: e.Span,
+		Name: e.Name, Attrs: cloneAttrs(e.Attrs),
+	})
+}
+
+// OnSpanEnd implements Observer.
+func (r *Recorder) OnSpanEnd(s Span) {
+	r.Records = append(r.Records, Record{
+		Kind: KindEnd, Seq: s.EndSeq, Span: s.ID,
+		Name: s.Name, Attrs: cloneAttrs(s.Attrs), Elapsed: s.Elapsed,
+	})
+}
+
+// cloneAttrs copies the caller's variadic slice, which Observers may
+// not retain.
+func cloneAttrs(attrs []Attr) []Attr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]Attr, len(attrs))
+	copy(out, attrs)
+	return out
+}
+
+// WriteJSONL writes one JSON object per record, in emission order,
+// hand-encoded so the byte stream is canonical: fixed key order, no
+// whitespace, shortest round-tripping floats, and no wall-time fields
+// — the output is bit-identical across runs and worker counts for a
+// fixed seed.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	buf := make([]byte, 0, 256)
+	for _, rec := range r.Records {
+		buf = rec.appendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("obs: write trace record: %w", err)
+		}
+	}
+	return nil
+}
+
+// appendJSON encodes one record. "parent" appears only on start
+// records; "attrs" only when non-empty.
+func (rec Record) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"kind":`...)
+	dst = appendQuoted(dst, rec.Kind)
+	dst = append(dst, `,"seq":`...)
+	dst = strconv.AppendUint(dst, rec.Seq, 10)
+	dst = append(dst, `,"span":`...)
+	dst = strconv.AppendUint(dst, rec.Span, 10)
+	if rec.Kind == KindStart {
+		dst = append(dst, `,"parent":`...)
+		dst = strconv.AppendUint(dst, rec.Parent, 10)
+	}
+	dst = append(dst, `,"name":`...)
+	dst = appendQuoted(dst, rec.Name)
+	if len(rec.Attrs) > 0 {
+		dst = append(dst, `,"attrs":{`...)
+		for i, a := range rec.Attrs {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = a.appendJSON(dst)
+		}
+		dst = append(dst, '}')
+	}
+	return append(dst, '}')
+}
+
+// appendJSON encodes one attribute as `"key":value`.
+func (a Attr) appendJSON(dst []byte) []byte {
+	dst = appendQuoted(dst, a.Key)
+	dst = append(dst, ':')
+	switch a.kind {
+	case kindString:
+		dst = appendQuoted(dst, a.str)
+	case kindInt:
+		dst = strconv.AppendInt(dst, a.num, 10)
+	case kindFloat:
+		dst = strconv.AppendFloat(dst, a.f, 'g', -1, 64)
+	case kindBool:
+		dst = strconv.AppendBool(dst, a.b)
+	}
+	return dst
+}
+
+// appendQuoted writes a JSON string literal. Only the characters JSON
+// requires escaped are escaped, so the encoding has exactly one form.
+func appendQuoted(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for _, r := range s {
+		switch {
+		case r == '"':
+			dst = append(dst, '\\', '"')
+		case r == '\\':
+			dst = append(dst, '\\', '\\')
+		case r < 0x20:
+			dst = append(dst, fmt.Sprintf("\\u%04x", r)...)
+		default:
+			dst = utf8.AppendRune(dst, r)
+		}
+	}
+	return append(dst, '"')
+}

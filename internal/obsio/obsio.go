@@ -1,0 +1,137 @@
+// Package obsio wires the observability subsystem (internal/obs) and the
+// runtime profilers to files for the command-line tools: flag-driven
+// trace/metrics dumps and pprof/execution-trace capture shared by
+// cmd/qmkp and cmd/experiments.
+package obsio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+
+	"repro/internal/obs"
+)
+
+// Sink collects the observability outputs a command asked for on its
+// flags. The zero half of each pair stays disabled and costs nothing on
+// the solver hot path.
+type Sink struct {
+	Obs obs.Obs
+
+	rec         *obs.Recorder
+	tracePath   string
+	metricsPath string
+}
+
+// New builds the obs bundle for the requested outputs; an empty path
+// leaves the corresponding half (trace recording, metrics registry)
+// disabled.
+func New(tracePath, metricsPath string) *Sink {
+	s := &Sink{tracePath: tracePath, metricsPath: metricsPath}
+	if tracePath != "" {
+		s.rec = obs.NewRecorder()
+		s.Obs.Trace = obs.NewTrace(s.rec)
+	}
+	if metricsPath != "" {
+		s.Obs.Metrics = obs.NewMetrics()
+	}
+	return s
+}
+
+// Flush writes the collected trace (JSONL, one record per span edge or
+// event) and the metrics snapshot (canonical JSON) to their destinations;
+// the path "-" selects stdout. Call it on every exit path — a canceled
+// run's partial trace is exactly what the flags exist to capture.
+func (s *Sink) Flush() error {
+	if s.rec != nil {
+		if err := writeFile(s.tracePath, s.rec.WriteJSONL); err != nil {
+			return fmt.Errorf("obsio: trace: %w", err)
+		}
+	}
+	if s.Obs.Metrics != nil {
+		if err := writeFile(s.metricsPath, s.Obs.Metrics.WriteJSON); err != nil {
+			return fmt.Errorf("obsio: metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// StartProfiles begins the requested runtime captures — CPU profile,
+// heap profile, execution trace; any path may be empty — and returns a
+// stop function that finishes them. The heap profile is taken at stop
+// time (after a GC), so it reflects live memory at the end of the run.
+func StartProfiles(cpuPath, memPath, execPath string) (func() error, error) {
+	var stops []func() error
+	stopAll := func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obsio: cpu profile: %w", err)
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if execPath != "" {
+		f, err := os.Create(execPath)
+		if err != nil {
+			_ = stopAll()
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			_ = stopAll()
+			return nil, fmt.Errorf("obsio: execution trace: %w", err)
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+	if memPath != "" {
+		stops = append(stops, func() error {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("obsio: heap profile: %w", err)
+			}
+			return f.Close()
+		})
+	}
+	return stopAll, nil
+}

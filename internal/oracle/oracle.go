@@ -29,6 +29,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/fastoracle"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/qarith"
 	"repro/internal/qsim"
@@ -62,6 +63,9 @@ type Oracle struct {
 	// truth, and the differential tests pin the two paths to each other.
 	fast *fastoracle.Evaluator
 
+	// metrics receives the per-sweep evaluation counters (Options.Metrics).
+	metrics *obs.Metrics
+
 	scratch *bitvec.Vector
 }
 
@@ -83,6 +87,13 @@ type Options struct {
 	// StrictSamples bounds the number of sampled basis states in strict
 	// mode (0 means the default of strictSampleBudget).
 	StrictSamples int
+
+	// Metrics, when non-nil, receives bulk evaluation counters from
+	// every TruthTable sweep ("oracle.evals.fast" vs
+	// "oracle.evals.circuit", plus a sweep count). Counts are added
+	// once per sweep on the calling goroutine, so the registry dump
+	// stays bit-identical at any worker count.
+	Metrics *obs.Metrics
 
 	// FastPath makes Marked and TruthTable answer the oracle predicate
 	// semantically — popcount(adjComp[v] & mask) ≤ k-1 per member plus
@@ -119,7 +130,7 @@ func BuildOpts(g *graph.Graph, k, T int, opts Options) (*Oracle, error) {
 	}
 	comp := g.Complement()
 	c := qsim.NewCircuit()
-	o := &Oracle{N: n, K: k, T: T, circuit: c}
+	o := &Oracle{N: n, K: k, T: T, circuit: c, metrics: opts.Metrics}
 
 	// Vertex register |v1..vn>.
 	o.vertex = c.AllocReg("v", n)
@@ -384,6 +395,8 @@ func (o *Oracle) TruthTable() []bool {
 				tt[mask] = o.fast.Marked(uint64(mask), o.T)
 			}
 		})
+		o.metrics.Add("oracle.evals.fast", int64(len(tt)))
+		o.metrics.Add("oracle.truthtable.sweeps", 1)
 		return tt
 	}
 	parallel.ForScratch(len(tt), truthTableGrain,
@@ -393,6 +406,8 @@ func (o *Oracle) TruthTable() []bool {
 				tt[mask] = o.markedInto(st, uint64(mask))
 			}
 		})
+	o.metrics.Add("oracle.evals.circuit", int64(len(tt)))
+	o.metrics.Add("oracle.truthtable.sweeps", 1)
 	return tt
 }
 
