@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt-check vet lint lint-json test race bench-smoke bench-json obs-smoke fuzz-smoke ci
+.PHONY: build fmt-check vet lint lint-json lint-sarif lint-baseline vulncheck test race bench-smoke bench-json obs-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,11 @@ vet:
 # The repo's own analyzers (see internal/analysis): panic prefixes,
 # seeded randomness, float comparisons, dropped module errors, map
 # iteration order, pool-only concurrency, wall-clock isolation, plus the
-# cross-package module passes (oracle purity over the call graph, stale
-# //lint:allow audit). Type-check errors fail the run; -lenient degrades
-# them to warnings.
+# cross-package module passes (oracle purity, ctx propagation, one-word
+# mask inventory, sentinel chaining over the call graph, stale
+# //lint:allow audit). Findings in LINT_BASELINE.json are accepted and
+# non-fatal; only new findings fail. Type-check errors fail the run;
+# -lenient degrades them to warnings.
 lint:
 	$(GO) run ./cmd/repro-lint ./...
 
@@ -34,6 +36,24 @@ lint:
 lint-json:
 	$(GO) run ./cmd/repro-lint -json ./... > REPRO_LINT.json; \
 	status=$$?; cat REPRO_LINT.json; exit $$status
+
+# Same run again as a SARIF 2.1.0 document (GitHub code scanning);
+# baselined findings carry baselineState "unchanged" at level "note".
+lint-sarif:
+	$(GO) run ./cmd/repro-lint -sarif REPRO_LINT.sarif ./...; \
+	status=$$?; ls -l REPRO_LINT.sarif; exit $$status
+
+# Accept the current findings into the checked-in ledger. Run after a
+# reviewed change to the inventory (e.g. a mask call site migrated to
+# multi-word bitsets); TestSelfClean pins the ledger to reality.
+lint-baseline:
+	$(GO) run ./cmd/repro-lint -write-baseline
+
+# Known-vulnerability scan (network: downloads the vuln DB and the
+# govulncheck tool itself, so it runs as a separate CI job, not in the
+# offline `make ci` aggregate).
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 test:
 	$(GO) test ./...

@@ -13,9 +13,20 @@
 // command line are accepted for familiarity (`repro-lint ./...`) but the
 // tool always analyzes the module containing the working directory.
 //
-//	repro-lint ./...          # lint the whole module
-//	repro-lint -json ./...    # machine-readable findings
-//	repro-lint -list          # describe the analyzers
+// Accepted findings live in LINT_BASELINE.json at the module root (the
+// -baseline ledger): fingerprinted findings a reviewer has already
+// triaged — today maskwidth's one-word inventory — print as "baselined"
+// and do not fail the run; only fresh findings exit 1. -write-baseline
+// regenerates the ledger from the current tree, and -sarif renders a
+// SARIF 2.1.0 document (baselineState new/unchanged) for GitHub code
+// scanning.
+//
+//	repro-lint ./...                 # lint the whole module
+//	repro-lint -json ./...           # machine-readable findings
+//	repro-lint -sarif out.sarif      # SARIF 2.1.0 document
+//	repro-lint -baseline none        # ignore the checked-in baseline
+//	repro-lint -write-baseline       # accept the current findings
+//	repro-lint -list                 # describe the analyzers
 package main
 
 import (
@@ -31,10 +42,13 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list the analyzers and exit")
-		verbose = flag.Bool("v", false, "also print type-check warnings (implied unless -lenient)")
-		jsonOut = flag.Bool("json", false, "print findings as JSON on stdout")
-		lenient = flag.Bool("lenient", false, "degrade type-check errors to warnings instead of failing")
+		list     = flag.Bool("list", false, "list the analyzers and exit")
+		verbose  = flag.Bool("v", false, "also print type-check warnings (implied unless -lenient)")
+		jsonOut  = flag.Bool("json", false, "print findings as JSON on stdout")
+		lenient  = flag.Bool("lenient", false, "degrade type-check errors to warnings instead of failing")
+		sarifOut = flag.String("sarif", "", "write a SARIF 2.1.0 document to this file (\"-\" for stdout)")
+		baseFlag = flag.String("baseline", "auto", "accepted-findings ledger: a path, \"auto\" (module-root LINT_BASELINE.json when present), or \"none\"")
+		writeBas = flag.Bool("write-baseline", false, "regenerate the baseline from the current findings and exit")
 	)
 	flag.Parse()
 
@@ -75,13 +89,55 @@ func main() {
 		}
 	}
 
-	if *jsonOut {
-		if err := writeJSON(os.Stdout, loader.ModPath, diags, typeErrs); err != nil {
+	if *writeBas {
+		target := *baseFlag
+		if target == "auto" || target == "none" || target == "" {
+			target = filepath.Join(root, "LINT_BASELINE.json")
+		}
+		b := analysis.NewBaseline(loader.ModPath, diags, root)
+		if err := b.Write(target); err != nil {
 			fatal(err)
 		}
-	} else {
-		for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "repro-lint: baseline %s accepts %d finding(s)\n", target, len(b.Findings))
+		if len(typeErrs) > 0 && !*lenient {
+			os.Exit(2)
+		}
+		return
+	}
+
+	baseline, err := resolveBaseline(*baseFlag, root)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, accepted := baseline.Partition(diags, root)
+
+	if *sarifOut != "" {
+		doc, err := analysis.SARIFReport(diags, baseline, root)
+		if err != nil {
+			fatal(err)
+		}
+		if *sarifOut == "-" {
+			_, err = os.Stdout.Write(doc)
+		} else {
+			err = os.WriteFile(*sarifOut, doc, 0o644)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, loader.ModPath, diags, baseline, root, typeErrs); err != nil {
+			fatal(err)
+		}
+	} else if *sarifOut != "-" {
+		for _, d := range fresh {
 			fmt.Println(d)
+		}
+		if *verbose {
+			for _, d := range accepted {
+				fmt.Printf("%s (baselined)\n", d)
+			}
 		}
 	}
 
@@ -89,39 +145,71 @@ func main() {
 	case len(typeErrs) > 0 && !*lenient:
 		fmt.Fprintf(os.Stderr, "repro-lint: %d type error(s); analyzers need sound types — fix them or pass -lenient\n", len(typeErrs))
 		os.Exit(2)
-	case len(diags) > 0:
-		fmt.Fprintf(os.Stderr, "repro-lint: %d finding(s)\n", len(diags))
+	case len(fresh) > 0:
+		fmt.Fprintf(os.Stderr, "repro-lint: %d finding(s), %d baselined\n", len(fresh), len(accepted))
 		os.Exit(1)
+	case len(accepted) > 0:
+		fmt.Fprintf(os.Stderr, "repro-lint: clean (%d baselined finding(s) carried)\n", len(accepted))
+	}
+}
+
+// resolveBaseline maps the -baseline flag to a loaded ledger: an
+// explicit path must exist; "auto" uses the module root's
+// LINT_BASELINE.json when present; "none" (or empty) disables
+// baselining.
+func resolveBaseline(flagVal, root string) (*analysis.Baseline, error) {
+	switch flagVal {
+	case "none", "":
+		return nil, nil
+	case "auto":
+		p := filepath.Join(root, "LINT_BASELINE.json")
+		if _, err := os.Stat(p); err != nil {
+			return nil, nil
+		}
+		return analysis.LoadBaseline(p)
+	default:
+		return analysis.LoadBaseline(flagVal)
 	}
 }
 
 // jsonReport is the -json document shape: stable field names, findings
-// pre-sorted by position (the order RunAll emits).
+// pre-sorted by position (the order RunAll emits). count is the total;
+// newCount is the CI gate — findings the baseline does not accept.
 type jsonReport struct {
 	Module     string        `json:"module"`
 	Findings   []jsonFinding `json:"findings"`
 	TypeErrors []string      `json:"typeErrors"`
 	Count      int           `json:"count"`
+	NewCount   int           `json:"newCount"`
 }
 
 type jsonFinding struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Analyzer    string `json:"analyzer"`
+	Message     string `json:"message"`
+	Fingerprint string `json:"fingerprint"`
+	Baselined   bool   `json:"baselined"`
 }
 
-func writeJSON(w *os.File, module string, diags []analysis.Diagnostic, typeErrs []string) error {
+func writeJSON(w *os.File, module string, diags []analysis.Diagnostic, baseline *analysis.Baseline, root string, typeErrs []string) error {
 	rep := jsonReport{Module: module, Findings: []jsonFinding{}, TypeErrors: typeErrs, Count: len(diags)}
 	if typeErrs == nil {
 		rep.TypeErrors = []string{}
 	}
-	for _, d := range diags {
+	fps := analysis.Fingerprints(diags, root)
+	for i, d := range diags {
+		accepted := baseline != nil && baseline.Has(fps[i])
+		if !accepted {
+			rep.NewCount++
+		}
 		rep.Findings = append(rep.Findings, jsonFinding{
-			File:     d.Pos.Filename,
-			Line:     d.Pos.Line,
-			Analyzer: d.Analyzer,
-			Message:  d.Message,
+			File:        d.Pos.Filename,
+			Line:        d.Pos.Line,
+			Analyzer:    d.Analyzer,
+			Message:     d.Message,
+			Fingerprint: fps[i],
+			Baselined:   accepted,
 		})
 	}
 	enc := json.NewEncoder(w)

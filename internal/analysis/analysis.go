@@ -144,6 +144,9 @@ func All() []Analyzer {
 func AllModule() []ModuleAnalyzer {
 	return []ModuleAnalyzer{
 		DefaultPurity(),
+		DefaultCtxFlow(),
+		DefaultMaskWidth(),
+		DefaultErrWrap(),
 		AllowAudit{},
 	}
 }

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is the accepted-findings ledger (LINT_BASELINE.json): the
+// findings a past reviewer looked at and decided to carry — today,
+// maskwidth's one-word inventory, which is a worklist for the
+// multi-word-bitset PR rather than a set of bugs to fix now. The lint
+// gate fails only on findings NOT in the baseline, so the inventory
+// stays visible in every report without blocking CI and without
+// bulk-//lint:allow noise in the source.
+//
+// Fingerprints deliberately exclude line numbers: they hash the
+// analyzer, the module-relative file path, the message, and an
+// occurrence index (disambiguating identical findings in one file), so
+// unrelated edits that shift a finding up or down the file do not churn
+// the baseline.
+type Baseline struct {
+	Version  int               `json:"version"`
+	Module   string            `json:"module"`
+	Findings []BaselineFinding `json:"findings"`
+
+	fps map[string]bool
+}
+
+// BaselineFinding is one accepted finding: the fingerprint the matcher
+// uses plus the human-readable context a reviewer audits the file by.
+type BaselineFinding struct {
+	Fingerprint string `json:"fingerprint"`
+	Analyzer    string `json:"analyzer"`
+	File        string `json:"file"`
+	Message     string `json:"message"`
+}
+
+// baselineVersion is bumped whenever the fingerprint recipe changes, so
+// a stale ledger fails loudly instead of matching nothing.
+const baselineVersion = 1
+
+// moduleRelFile renders a diagnostic's filename relative to the module
+// root, slash-separated — the canonical form fingerprints and SARIF
+// artifact URIs share regardless of where the driver ran from.
+func moduleRelFile(filename, moduleRoot string) string {
+	abs, err := filepath.Abs(filename)
+	if err != nil {
+		return filepath.ToSlash(filename)
+	}
+	rootAbs, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return filepath.ToSlash(filename)
+	}
+	rel, err := filepath.Rel(rootAbs, abs)
+	if err != nil {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// Fingerprints returns one fingerprint per diagnostic, positionally
+// aligned with diags. Identical (analyzer, file, message) triples are
+// disambiguated by their occurrence index in diags order, so two
+// findings with the same text in one file get distinct, stable prints.
+func Fingerprints(diags []Diagnostic, moduleRoot string) []string {
+	out := make([]string, len(diags))
+	seen := make(map[string]int)
+	for i, d := range diags {
+		key := d.Analyzer + "\x00" + moduleRelFile(d.Pos.Filename, moduleRoot) + "\x00" + d.Message
+		n := seen[key]
+		seen[key] = n + 1
+		sum := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%d", key, n)))
+		out[i] = hex.EncodeToString(sum[:16])
+	}
+	return out
+}
+
+// NewBaseline builds a ledger accepting exactly the given diagnostics.
+func NewBaseline(module string, diags []Diagnostic, moduleRoot string) *Baseline {
+	b := &Baseline{Version: baselineVersion, Module: module}
+	fps := Fingerprints(diags, moduleRoot)
+	for i, d := range diags {
+		b.Findings = append(b.Findings, BaselineFinding{
+			Fingerprint: fps[i],
+			Analyzer:    d.Analyzer,
+			File:        moduleRelFile(d.Pos.Filename, moduleRoot),
+			Message:     d.Message,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		if a.Message != c.Message {
+			return a.Message < c.Message
+		}
+		return a.Fingerprint < c.Fingerprint
+	})
+	return b
+}
+
+// LoadBaseline reads a ledger from disk.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("analysis: baseline %s has version %d, this tool writes %d — regenerate it", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// Write renders the ledger as stable, indented JSON.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Has reports whether a fingerprint is accepted.
+func (b *Baseline) Has(fp string) bool {
+	if b.fps == nil {
+		b.fps = make(map[string]bool, len(b.Findings))
+		for _, f := range b.Findings {
+			b.fps[f.Fingerprint] = true
+		}
+	}
+	return b.fps[fp]
+}
+
+// Partition splits diagnostics into the ones the baseline does not
+// cover (fresh findings — the CI gate) and the accepted ones, each in
+// the original order. A nil baseline accepts nothing.
+func (b *Baseline) Partition(diags []Diagnostic, moduleRoot string) (fresh, accepted []Diagnostic) {
+	if b == nil {
+		return diags, nil
+	}
+	fps := Fingerprints(diags, moduleRoot)
+	for i, d := range diags {
+		if b.Has(fps[i]) {
+			accepted = append(accepted, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	return fresh, accepted
+}

@@ -188,3 +188,213 @@ func Energy(h []float64, j map[[2]int]float64, s []int8) float64 {
 		t.Errorf("seeded bug reported at %s:%d, want qubo/energy.go:11", d.Pos.Filename, d.Pos.Line)
 	}
 }
+
+// checkModuleFixture runs one module analyzer over the whole fixture
+// module and asserts its diagnostics match the want markers of the
+// owned packages exactly, with every other fixture package clean.
+func checkModuleFixture(t *testing.T, a ModuleAnalyzer, owned ...string) {
+	t.Helper()
+	pkgs := loadFixtures(t)
+	ownedSet := make(map[string]bool)
+	for _, p := range owned {
+		ownedSet[p] = true
+	}
+	fileOwner := make(map[string]string)
+	var wants []want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			fileOwner[f.Name] = pkg.Path
+		}
+		if ownedSet[pkg.Path] {
+			w := collectWants(t, pkg)
+			if len(w) == 0 {
+				t.Fatalf("%s: fixture %s has no want markers", a.Name(), pkg.Path)
+			}
+			wants = append(wants, w...)
+		}
+	}
+	diags := onlyAnalyzer(RunAll(pkgs, nil, []ModuleAnalyzer{a}), a.Name())
+	matched := make([]bool, len(wants))
+diag:
+	for _, d := range diags {
+		if !ownedSet[fileOwner[d.Pos.Filename]] {
+			t.Errorf("%s: unexpected diagnostic outside owned packages: %s", a.Name(), d)
+			continue
+		}
+		for i, w := range wants {
+			if !matched[i] && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				continue diag
+			}
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", a.Name(), d)
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s: missing diagnostic at %s:%d containing %q", a.Name(), w.file, w.line, w.substr)
+		}
+	}
+}
+
+// TestCtxFlowFixtures covers all four ctxflow rules over the ctxfix
+// fixture: fresh contexts on solve paths (with root attribution),
+// ctx-first ordering, annotated boundary loops, and the legacy-wrapper
+// caller flag — with the wrapper package itself staying clean.
+func TestCtxFlowFixtures(t *testing.T) {
+	a := CtxFlow{Roots: []CallRoot{{PkgSuffix: "ctxfix/solver", FuncPrefix: "Solve"}}}
+	checkModuleFixture(t, a, "fixture/ctxfix/solver")
+}
+
+// TestCtxFlowWrapperFactCrossPackage is the cross-package
+// fact-propagation test for ctxflow: the wrapper fact is exported by
+// wrapa's pass, and the diagnostic it causes lands at the call site in
+// solver — a different package.
+func TestCtxFlowWrapperFactCrossPackage(t *testing.T) {
+	pkgs := loadFixtures(t)
+	store := NewFactStore()
+	for _, p := range pkgs {
+		CtxFlow{}.ExportFacts(p, store)
+	}
+	facts := store.Select("fixture/ctxfix/wrapa", "RunLegacy", "ctxflow", "wrapper")
+	if len(facts) != 1 {
+		t.Fatalf("wrapper fact for wrapa.RunLegacy: got %d facts, want 1:\n%v", len(facts), facts)
+	}
+	if facts[0].Detail != "wrapa.RunCtx" {
+		t.Errorf("wrapper fact detail = %q, want wrapa.RunCtx", facts[0].Detail)
+	}
+	a := CtxFlow{Roots: []CallRoot{{PkgSuffix: "ctxfix/solver", FuncPrefix: "Solve"}}}
+	diags := onlyAnalyzer(RunAll(pkgs, nil, []ModuleAnalyzer{a}), "ctxflow")
+	var callSite *Diagnostic
+	for i := range diags {
+		if strings.Contains(diags[i].Message, "legacy wrapper wrapa.RunLegacy") {
+			callSite = &diags[i]
+		}
+		if strings.Contains(diags[i].Message, "context.Background() in wrapa.RunLegacy") {
+			t.Errorf("wrapper exemption failed, RunLegacy itself was flagged: %s", diags[i])
+		}
+	}
+	if callSite == nil {
+		t.Fatalf("missing wrapper-caller diagnostic in:\n%v", diags)
+	}
+	if !strings.HasSuffix(callSite.Pos.Filename, filepath.Join("solver", "solver.go")) {
+		t.Errorf("wrapper-caller diagnostic in %s, want ctxfix/solver/solver.go", callSite.Pos.Filename)
+	}
+	if !strings.Contains(callSite.Message, "call wrapa.RunCtx directly") {
+		t.Errorf("diagnostic does not name the ctx-aware variant: %s", callSite)
+	}
+}
+
+// TestMaskWidthFixtures covers the taint inventory and every recognized
+// guard shape: if-then, early bailout, guard predicate, split caps
+// check, and bare width-check call.
+func TestMaskWidthFixtures(t *testing.T) {
+	a := MaskWidth{APIs: []MaskAPI{{PkgSuffix: "maskfix/bitapi", Func: "Mask"}}}
+	checkModuleFixture(t, a, "fixture/maskfix/user")
+}
+
+// TestMaskWidthGuardedFacts asserts the guarded call sites are exported
+// as machine-readable facts rather than silently dropped.
+func TestMaskWidthGuardedFacts(t *testing.T) {
+	pkgs := loadFixtures(t)
+	a := MaskWidth{APIs: []MaskAPI{{PkgSuffix: "maskfix/bitapi", Func: "Mask"}}}
+	sorted := sortedByPath(pkgs)
+	m := &Module{Pkgs: sorted, Facts: NewFactStore(), Graph: BuildCallGraph(sorted)}
+	for _, p := range sorted {
+		a.ExportFacts(p, m.Facts)
+	}
+	a.CheckModule(m)
+	guarded := m.Facts.Select("fixture/maskfix/user", "", "maskwidth", "guarded")
+	if len(guarded) != 5 {
+		t.Fatalf("guarded facts: got %d, want 5 (ThenGuard, BailGuard, PredGuard, SplitGuard, CheckedGuard):\n%v", len(guarded), guarded)
+	}
+	byObj := make(map[string]bool)
+	for _, f := range guarded {
+		byObj[f.Object] = true
+	}
+	for _, obj := range []string{"ThenGuard", "BailGuard", "PredGuard", "SplitGuard", "CheckedGuard"} {
+		if !byObj[obj] {
+			t.Errorf("missing guarded fact for %s in:\n%v", obj, guarded)
+		}
+	}
+}
+
+// TestErrWrapFixtures covers the three errwrap rules: unchained origins
+// in the root package, chain loss at every reachable layer (with the
+// lower-layer origin exemption), and module-wide discarded ctx-aware
+// errors.
+func TestErrWrapFixtures(t *testing.T) {
+	a := ErrWrap{
+		Roots:     []CallRoot{{PkgSuffix: "errwfix/solver", FuncPrefix: "Solve"}},
+		Sentinels: []string{"ErrBadInput"},
+	}
+	checkModuleFixture(t, a, "fixture/errwfix/solver", "fixture/errwfix/lib")
+}
+
+// TestCtxFlowCatchesSeededProbeLoopBug seeds the exact bug class ctxflow
+// exists for — a solver probe loop that accepts a context but never
+// polls it — into a scratch internal/core module and asserts the default
+// configuration catches it.
+func TestCtxFlowCatchesSeededProbeLoopBug(t *testing.T) {
+	dir := t.TempDir()
+	src := `// Package core is a scratch copy with an unpropagated probe context.
+package core
+
+import "context"
+
+// SolveMKP accepts a context but the probe loop never polls it — the
+// seeded bug: cancellation waits for the whole binary search to drain.
+func SolveMKP(ctx context.Context, n int) int {
+	_ = ctx
+	best := 0
+	//ctx:boundary probe
+	for lo, hi := 1, n; lo <= hi; {
+		T := (lo + hi + 1) / 2
+		if probe(T) {
+			best = T
+			lo = T + 1
+		} else {
+			hi = T - 1
+		}
+	}
+	return best
+}
+
+func probe(T int) bool { return T%2 == 0 }
+
+//ctx:boundary probe
+var dangling = 1
+`
+	if err := os.MkdirAll(filepath.Join(dir, "internal", "core"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "internal", "core", "mkp.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir, "scratch")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	diags := onlyAnalyzer(RunAll(pkgs, nil, []ModuleAnalyzer{DefaultCtxFlow()}), "ctxflow")
+	if len(diags) != 2 {
+		t.Fatalf("ctxflow reported %d diagnostics on the seeded bug, want 2 (unpolled probe loop + dangling annotation):\n%v", len(diags), diags)
+	}
+	var loop, dangle *Diagnostic
+	for i := range diags {
+		switch {
+		case strings.Contains(diags[i].Message, "probe-boundary loop never checks ctx.Err()"):
+			loop = &diags[i]
+		case strings.Contains(diags[i].Message, "not attached to a loop"):
+			dangle = &diags[i]
+		}
+	}
+	if loop == nil || dangle == nil {
+		t.Fatalf("missing expected diagnostics:\n%v", diags)
+	}
+	if !strings.HasSuffix(loop.Pos.Filename, filepath.Join("core", "mkp.go")) || loop.Pos.Line != 12 {
+		t.Errorf("seeded bug reported at %s:%d, want core/mkp.go:12", loop.Pos.Filename, loop.Pos.Line)
+	}
+}

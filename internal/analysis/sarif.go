@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// SARIF 2.1.0 output (sarif.go): the findings document GitHub code
+// scanning and SARIF viewers consume. The document is deterministic —
+// rules sorted by id, results in RunAll's position order, no map-keyed
+// JSON — so repeated runs over the same tree are byte-identical (the
+// same bit-reproducibility bar the solvers are held to).
+//
+// Baseline integration maps onto SARIF's own vocabulary: findings the
+// Baseline accepts carry baselineState "unchanged" at level "note";
+// fresh findings are "new" at level "error". partialFingerprints carries
+// the same line-number-free fingerprint LINT_BASELINE.json stores, under
+// the key "reproLint/v1".
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string            `json:"ruleId"`
+	RuleIndex           int               `json:"ruleIndex"`
+	Level               string            `json:"level"`
+	Message             sarifText         `json:"message"`
+	Locations           []sarifLocation   `json:"locations"`
+	PartialFingerprints map[string]string `json:"partialFingerprints"`
+	BaselineState       string            `json:"baselineState"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+// fingerprintKey names the fingerprint recipe inside
+// partialFingerprints; bump alongside baselineVersion.
+const fingerprintKey = "reproLint/v1"
+
+// SARIFReport renders the diagnostics as a SARIF 2.1.0 document.
+// Artifact URIs are module-relative (uriBaseId SRCROOT). A nil baseline
+// marks every finding "new"/"error".
+func SARIFReport(diags []Diagnostic, baseline *Baseline, moduleRoot string) ([]byte, error) {
+	// Rules: the full registered suite, sorted by id, so ruleIndex is
+	// stable whether or not an analyzer fired this run.
+	var rules []sarifRule
+	ruleIndex := make(map[string]int)
+	for _, a := range All() {
+		rules = append(rules, sarifRule{ID: a.Name(), ShortDescription: sarifText{Text: a.Doc()}})
+	}
+	for _, a := range AllModule() {
+		rules = append(rules, sarifRule{ID: a.Name(), ShortDescription: sarifText{Text: a.Doc()}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	for i, r := range rules {
+		ruleIndex[r.ID] = i
+	}
+
+	fps := Fingerprints(diags, moduleRoot)
+	results := []sarifResult{}
+	for i, d := range diags {
+		level, state := "error", "new"
+		if baseline != nil && baseline.Has(fps[i]) {
+			level, state = "note", "unchanged"
+		}
+		idx, known := ruleIndex[d.Analyzer]
+		if !known {
+			idx = -1
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     level,
+			Message:   sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       moduleRelFile(d.Pos.Filename, moduleRoot),
+						URIBaseID: "SRCROOT",
+					},
+					Region: sarifRegion{StartLine: d.Pos.Line},
+				},
+			}},
+			PartialFingerprints: map[string]string{fingerprintKey: fps[i]},
+			BaselineState:       state,
+		})
+	}
+
+	doc := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "repro-lint",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fakeDiags is a fixed finding set shared by the baseline and SARIF
+// tests: two maskwidth inventory lines in one file (identical messages,
+// exercising the occurrence index) and one errwrap finding elsewhere.
+func fakeDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/widget/widget.go", Line: 10},
+			Analyzer: "maskwidth",
+			Message:  "one-word mask inventory: widget.Pack feeds an unguarded n into graph.MaskSubset (limit n ≤ 64); multi-word bitset worklist",
+		},
+		{
+			Pos:      token.Position{Filename: "internal/widget/widget.go", Line: 40},
+			Analyzer: "maskwidth",
+			Message:  "one-word mask inventory: widget.Pack feeds an unguarded n into graph.MaskSubset (limit n ≤ 64); multi-word bitset worklist",
+		},
+		{
+			Pos:      token.Position{Filename: "internal/widget/errs.go", Line: 7},
+			Analyzer: "errwrap",
+			Message:  "error result of ctx-aware widget.RunCtx discarded by blank assignment; a canceled context's error would be lost",
+		},
+	}
+}
+
+// TestFingerprintStability pins the two properties the ledger depends
+// on: fingerprints ignore line numbers (edits that shift a finding do
+// not churn the baseline) and identical findings in one file still get
+// distinct, order-stable prints via the occurrence index.
+func TestFingerprintStability(t *testing.T) {
+	diags := fakeDiags()
+	fps := Fingerprints(diags, ".")
+	if fps[0] == fps[1] {
+		t.Errorf("identical findings share fingerprint %s; occurrence index not applied", fps[0])
+	}
+
+	shifted := fakeDiags()
+	for i := range shifted {
+		shifted[i].Pos.Line += 100
+	}
+	for i, fp := range Fingerprints(shifted, ".") {
+		if fp != fps[i] {
+			t.Errorf("finding %d: fingerprint changed after a line shift: %s -> %s", i, fps[i], fp)
+		}
+	}
+
+	abs := fakeDiags()
+	for i := range abs {
+		a, err := filepath.Abs(abs[i].Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abs[i].Pos.Filename = a
+	}
+	for i, fp := range Fingerprints(abs, ".") {
+		if fp != fps[i] {
+			t.Errorf("finding %d: fingerprint differs between relative and absolute paths: %s vs %s", i, fps[i], fp)
+		}
+	}
+}
+
+// TestBaselineRoundTrip writes a ledger, reloads it, and checks the
+// partition: everything accepted, a novel finding fresh, a nil baseline
+// accepting nothing.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := fakeDiags()
+	path := filepath.Join(t.TempDir(), "LINT_BASELINE.json")
+	if err := NewBaseline("repro", diags, ".").Write(path); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if b.Module != "repro" || len(b.Findings) != len(diags) {
+		t.Fatalf("reloaded baseline: module %q, %d finding(s)", b.Module, len(b.Findings))
+	}
+
+	fresh, accepted := b.Partition(diags, ".")
+	if len(fresh) != 0 || len(accepted) != len(diags) {
+		t.Errorf("self-partition: %d fresh, %d accepted; want 0, %d", len(fresh), len(accepted), len(diags))
+	}
+
+	novel := append(fakeDiags(), Diagnostic{
+		Pos:      token.Position{Filename: "internal/widget/new.go", Line: 3},
+		Analyzer: "ctxflow",
+		Message:  "ctx must be the first parameter",
+	})
+	fresh, accepted = b.Partition(novel, ".")
+	if len(fresh) != 1 || fresh[0].Analyzer != "ctxflow" {
+		t.Errorf("novel finding not isolated: fresh = %v", fresh)
+	}
+	if len(accepted) != len(diags) {
+		t.Errorf("novel run accepted %d, want %d", len(accepted), len(diags))
+	}
+
+	var nilB *Baseline
+	fresh, accepted = nilB.Partition(diags, ".")
+	if len(fresh) != len(diags) || len(accepted) != 0 {
+		t.Errorf("nil baseline: %d fresh, %d accepted; want all fresh", len(fresh), len(accepted))
+	}
+}
+
+// TestBaselineVersionMismatch makes sure a ledger written by a
+// different fingerprint recipe fails loudly instead of matching
+// nothing.
+func TestBaselineVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stale.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99, "module": "repro", "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("LoadBaseline accepted a version-99 ledger")
+	}
+}
+
+// TestSARIFGolden renders the fixed finding set against a baseline that
+// accepts the first two findings and compares byte-for-byte with the
+// checked-in golden document. Regenerate with
+//
+//	UPDATE_GOLDEN=1 go test ./internal/analysis -run TestSARIFGolden
+//
+// after changing the analyzer registry (rules are the full suite) or
+// the SARIF shape.
+func TestSARIFGolden(t *testing.T) {
+	diags := fakeDiags()
+	baseline := NewBaseline("repro", diags[:2], ".")
+	got, err := SARIFReport(diags, baseline, ".")
+	if err != nil {
+		t.Fatalf("SARIFReport: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "golden.sarif")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("SARIF output differs from %s; rerun with UPDATE_GOLDEN=1 and review the diff", golden)
+	}
+
+	// Independent of the golden bytes: the document must parse, carry
+	// the full rule registry, and split baselined vs fresh findings.
+	var doc struct {
+		Runs []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct{ ID string }
+				}
+			}
+			Results []struct {
+				RuleID        string
+				Level         string
+				BaselineState string
+			}
+		}
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("SARIF does not parse: %v", err)
+	}
+	run := doc.Runs[0]
+	if want := len(All()) + len(AllModule()); len(run.Tool.Driver.Rules) != want {
+		t.Errorf("rules = %d, want %d (full registry)", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(diags))
+	}
+	for i, r := range run.Results[:2] {
+		if r.Level != "note" || r.BaselineState != "unchanged" {
+			t.Errorf("result %d: level %q state %q, want note/unchanged", i, r.Level, r.BaselineState)
+		}
+	}
+	if r := run.Results[2]; r.Level != "error" || r.BaselineState != "new" {
+		t.Errorf("fresh result: level %q state %q, want error/new", r.Level, r.BaselineState)
+	}
+}

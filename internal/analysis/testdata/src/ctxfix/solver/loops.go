@@ -1,0 +1,58 @@
+package solver
+
+import "context"
+
+// Reorder accepts a context in second position — callers stop threading
+// it (rule 1).
+func Reorder(n int, ctx context.Context) int { // want "ctx must be the first parameter"
+	return step(ctx, n)
+}
+
+// missingPoll annotates a shot boundary but never polls the context —
+// cancellation waits for the loop to drain.
+func missingPoll(ctx context.Context, n int) int {
+	_ = ctx
+	s := 0
+	//ctx:boundary shot
+	for i := 0; i < n; i++ { // want "shot-boundary loop never checks ctx.Err"
+		s += i
+	}
+	return s
+}
+
+// unknownKind names a boundary class the contracts do not define.
+func unknownKind(ctx context.Context, n int) int {
+	s := 0
+	//ctx:boundary warmup
+	for i := 0; i < n; i++ { // want "not a known boundary kind"
+		if ctx.Err() != nil {
+			return s
+		}
+		s += i
+	}
+	return s
+}
+
+// noCtxInScope declares a try boundary in a function with no context to
+// check.
+func noCtxInScope(n int) int {
+	s := 0
+	//ctx:boundary try
+	for i := 0; i < n; i++ { // want "no context in scope"
+		s += i
+	}
+	return s
+}
+
+// goodShots is the clean shape all three rules accept: trailing
+// annotation, ctx polled inside.
+func goodShots(ctx context.Context, n int) int {
+	s := 0
+	for shot := 0; shot < n; shot++ { //ctx:boundary shot
+		if ctx.Err() != nil {
+			return s
+		}
+		s += shot
+	}
+	return s
+}

@@ -1,0 +1,58 @@
+// Package solver is the ctxflow fixture root package: Solve* functions
+// are wired as the call-graph roots, so everything they reach must
+// propagate the caller's context.
+package solver
+
+import (
+	"context"
+
+	"fixture/ctxfix/wrapa"
+)
+
+// SolveProbe is the well-behaved root: annotated boundary loop polling
+// ctx, context threaded to the helper — clean except for the legacy
+// wrapper call below (rule 4: a ctx is in scope, the wrapper would
+// detach it).
+func SolveProbe(ctx context.Context, n int) (int, error) {
+	total := 0
+	//ctx:boundary probe
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		total += step(ctx, i)
+	}
+	r, err := wrapa.RunLegacy(n) // want "call to legacy wrapper wrapa.RunLegacy"
+	if err != nil {
+		return total, err
+	}
+	return total + r, nil
+}
+
+// SolveBad mints a fresh root context on the solve path instead of
+// taking one.
+func SolveBad(n int) int {
+	ctx := context.Background() // want "context.Background() in solver.SolveBad"
+	return step(ctx, n)
+}
+
+// SolveDeep threads its ctx correctly but calls a helper that quietly
+// re-roots the work.
+func SolveDeep(ctx context.Context, n int) int {
+	_ = ctx
+	return deepHelper(n)
+}
+
+// deepHelper is only reachable from SolveDeep; the diagnostic must name
+// that root.
+func deepHelper(n int) int {
+	c := context.TODO() // want "context.TODO() in solver.deepHelper on a path from solver.SolveDeep"
+	return step(c, n)
+}
+
+func step(ctx context.Context, i int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return i
+}

@@ -1,0 +1,21 @@
+// Package wrapa holds the recognized legacy-wrapper pattern: a
+// pre-context entry point delegating to its ctx-aware variant under
+// context.Background(). ctxflow exempts the wrapper itself (even though
+// it is reachable from the fixture roots) and instead exports a
+// "wrapper" fact, which flags ctx-holding callers in other packages.
+package wrapa
+
+import "context"
+
+// RunLegacy is the compatibility wrapper — no diagnostic here.
+func RunLegacy(n int) (int, error) {
+	return RunCtx(context.Background(), n)
+}
+
+// RunCtx is the ctx-aware variant the wrapper delegates to.
+func RunCtx(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}

@@ -1,0 +1,51 @@
+// Package lib is the errwrap fixture's lower layer. It cannot import
+// the solver sentinels (the import would cycle), so errors BORN here
+// without %w are exempt — the root package attaches the sentinel at its
+// boundary. Chain LOSS (an error argument flattened without %w) is
+// still flagged at every reachable layer, and discarding a ctx-aware
+// error is flagged module-wide.
+package lib
+
+import (
+	"context"
+	"fmt"
+)
+
+// Validate errors without a sentinel — exempt outside the root package.
+func Validate(n int) error {
+	if n > 9000 {
+		return fmt.Errorf("lib: n=%d too large for the fixture", n)
+	}
+	return deeper(n)
+}
+
+// deeper flattens a cause; the chain is lost below the root and no
+// wrapping above can restore it.
+func deeper(n int) error {
+	if err := probe(n); err != nil {
+		return fmt.Errorf("lib: probe failed: %v", err) // want "without %w"
+	}
+	return nil
+}
+
+func probe(n int) error {
+	if n == 7 {
+		return fmt.Errorf("lib: unlucky probe")
+	}
+	return nil
+}
+
+// RunCtx is the ctx-aware variant whose error carries cancellation.
+func RunCtx(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Discard throws the ctx-aware error away: cancellation becomes
+// indistinguishable from success.
+func Discard(ctx context.Context, n int) int {
+	r, _ := RunCtx(ctx, n) // want "discarded by blank assignment"
+	return r
+}

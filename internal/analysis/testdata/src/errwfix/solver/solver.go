@@ -1,0 +1,47 @@
+// Package solver is the errwrap fixture's root package: every error
+// born on a Solve* path here must chain the sentinel via %w, and errors
+// arriving from the lower layer must be wrapped, not flattened.
+package solver
+
+import (
+	"errors"
+	"fmt"
+
+	"fixture/errwfix/lib"
+)
+
+// ErrBadInput is the fixture sentinel.
+var ErrBadInput = errors.New("solver: bad input")
+
+// SolveGood chains the sentinel and re-wraps the lib error with %w —
+// clean.
+func SolveGood(n int) error {
+	if n < 0 {
+		return fmt.Errorf("solver: n=%d negative: %w", n, ErrBadInput)
+	}
+	if err := lib.Validate(n); err != nil {
+		return fmt.Errorf("solver: validate: %w", err)
+	}
+	return nil
+}
+
+// SolveUnchained mints errors in the root package that no errors.Is can
+// ever classify.
+func SolveUnchained(n int) error {
+	if n < 0 {
+		return fmt.Errorf("solver: n=%d negative", n) // want "chains no sentinel"
+	}
+	if n == 0 {
+		return errors.New("solver: zero vertices") // want "errors.New"
+	}
+	return nil
+}
+
+// SolveFlattened loses the lower layer's chain: %v turns the cause into
+// text.
+func SolveFlattened(n int) error {
+	if err := lib.Validate(n); err != nil {
+		return fmt.Errorf("solver: validate failed: %v", err) // want "without %w"
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+// Package bitapi is the maskwidth fixture's one-word mask API — the
+// seed the taint inventory starts from, the fixture analogue of
+// graph.SubsetMask.
+package bitapi
+
+import "fmt"
+
+// Mask packs set into a single uint64 word; the encoding only exists
+// for n ≤ 64 and panics beyond it.
+func Mask(set []int, n int) uint64 {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitapi: mask convention requires 0 ≤ n ≤ 64, got n=%d", n))
+	}
+	var m uint64
+	for _, v := range set {
+		m |= 1 << uint(n-1-v)
+	}
+	return m
+}

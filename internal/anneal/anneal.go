@@ -198,7 +198,7 @@ func runShots(ctx context.Context, p Params, kind string, run func(shot int) sho
 	shots := make([]shotOutcome, p.Shots)
 	done := make([]bool, p.Shots)
 	parallel.For(p.Shots, 1, func(lo, hi int) {
-		for shot := lo; shot < hi; shot++ {
+		for shot := lo; shot < hi; shot++ { //ctx:boundary shot
 			if ctx.Err() != nil {
 				return
 			}
@@ -250,6 +250,10 @@ func emitShotMetrics(p Params, kind string, shots []shotOutcome, done []bool, co
 // inverse-temperature ramp BetaMin → BetaMax. Shots are independent
 // anneals with seeds derived from Params.Seed and the shot index, so they
 // run on parallel workers; results are bit-identical at any worker count.
+//
+// SA is the legacy no-context wrapper over SACtx — audited for errwrap
+// (the error propagates unchanged); ctxflow exempts the wrapper and
+// flags ctx-holding callers instead.
 func SA(m *qubo.Model, p Params) (Result, error) {
 	return SACtx(context.Background(), m, p)
 }

@@ -38,6 +38,10 @@ type HybridResult struct {
 // runtime contract and returns the best assignment found. On the paper's
 // problem sizes it is essentially always optimal, matching the single
 // near-optimal star the figures show for haMKP.
+//
+// Hybrid is the legacy no-context wrapper over HybridCtx — audited for
+// errwrap (the error propagates unchanged); ctxflow exempts the wrapper
+// and flags ctx-holding callers instead.
 func Hybrid(m *qubo.Model, p HybridParams) (HybridResult, error) {
 	return HybridCtx(context.Background(), m, p)
 }
@@ -63,6 +67,7 @@ func HybridCtx(ctx context.Context, m *qubo.Model, p HybridParams) (HybridResult
 	start := time.Now()
 	var out HybridResult
 	seed := p.Seed
+	//ctx:boundary round
 	for out.Rounds == 0 || time.Since(start) < p.MinRuntime { //lint:allow walltime MinRuntime is the solver's documented wall-clock contract (the D-Wave Hybrid floor); rounds are seeded deterministically within it
 		if cerr := ctx.Err(); cerr != nil {
 			out.Elapsed = time.Since(start)

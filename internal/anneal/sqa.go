@@ -24,6 +24,10 @@ import (
 // This is the reproduction's stand-in for the D-Wave Advantage QPU: the
 // per-shot sweep count plays the paper's annealing time Δt, and the shot
 // count its sample count s.
+//
+// SQA is the legacy no-context wrapper over SQACtx — audited for
+// errwrap (the error propagates unchanged); ctxflow exempts the wrapper
+// and flags ctx-holding callers instead.
 func SQA(m *qubo.Model, p Params) (Result, error) {
 	return SQACtx(context.Background(), m, p)
 }
@@ -219,6 +223,11 @@ func gammaAt(p Params, sweep int) float64 {
 // couplings otherwise dwarf the fixed-β Monte-Carlo dynamics and freeze
 // the anneal. Reported energies are unaffected — the unembed callback
 // evaluates the ORIGINAL logical objective.
+//
+// RunEmbeddedIsing is the legacy no-context wrapper over
+// RunEmbeddedIsingCtx — audited for errwrap (the error propagates
+// unchanged); ctxflow exempts the wrapper and flags ctx-holding callers
+// instead.
 func RunEmbeddedIsing(is *qubo.Ising, p Params, unembed func([]int8) ([]bool, float64)) (Result, error) {
 	return RunEmbeddedIsingCtx(context.Background(), is, p, unembed)
 }

@@ -217,7 +217,7 @@ func SolveMKP(ctx context.Context, g *graph.Graph, spec Spec) (MKPResult, error)
 			out.Size = len(set)
 		}
 	}
-	for lo <= hi {
+	for lo <= hi { //ctx:boundary probe
 		if cerr := ctx.Err(); cerr != nil {
 			finish()
 			return out, canceled(AlgoMKP, cerr)

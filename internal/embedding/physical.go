@@ -153,6 +153,11 @@ func (p *Physical) ChainBreakFraction(spins []int8) float64 {
 // SampleEmbedded anneals the physical Ising with the SQA sampler and
 // returns logical results — the full QPU pipeline: embed → anneal →
 // majority-vote unembed.
+//
+// SampleEmbedded is the legacy no-context wrapper over
+// SampleEmbeddedCtx — audited for errwrap (the error propagates
+// unchanged); ctxflow exempts the wrapper and flags ctx-holding callers
+// instead.
 func SampleEmbedded(m *qubo.Model, e *Embedding, chainStrength float64, params anneal.Params) (anneal.Result, error) {
 	return SampleEmbeddedCtx(context.Background(), m, e, chainStrength, params)
 }

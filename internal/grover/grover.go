@@ -139,8 +139,12 @@ type Result struct {
 // optimal count, measure, verify classically. If the measurement misses
 // (the inherent error probability of the paper's Section V-A), it retries
 // up to maxTries times, accumulating cost. maxTries ≤ 0 means 3.
+//
+// Search is the legacy no-context wrapper over SearchObs: ctxflow
+// exempts it by the recognized wrapper pattern and instead flags any
+// ctx-holding caller, steering them to SearchObs directly.
 func Search(n int, pred Predicate, m int, gatesPerOracle int64, maxTries int, rng *rand.Rand) Result {
-	res, _ := SearchObs(context.Background(), n, pred, m, gatesPerOracle, maxTries, rng, obs.Obs{})
+	res, _ := SearchObs(context.Background(), n, pred, m, gatesPerOracle, maxTries, rng, obs.Obs{}) //lint:allow errwrap the only error SearchObs returns wraps ctx.Err, which context.Background never produces
 	return res
 }
 
@@ -159,7 +163,7 @@ func SearchObs(ctx context.Context, n int, pred Predicate, m int, gatesPerOracle
 	iters := OptimalIterations(n, m)
 	var res Result
 	var err error
-	for try := 0; try < maxTries; try++ {
+	for try := 0; try < maxTries; try++ { //ctx:boundary try
 		if cerr := ctx.Err(); cerr != nil {
 			err = fmt.Errorf("grover: search canceled after %d of %d tries: %w", try, maxTries, cerr)
 			break
