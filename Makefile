@@ -69,11 +69,17 @@ bench-smoke:
 
 # Timed fast-path benchmarks rendered as JSON (cmd/benchjson) — the
 # artifact behind EXPERIMENTS.md's speedup table and the CI upload.
+# BENCH_ISSUE7.json captures the Table-vs-branch-and-bound crossover
+# (exhaustive 2^n sweep against pruned search as n grows past the
+# DefaultTableCutoff, plus the n=100 beyond-the-mask-wall point).
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkOracleSweep|BenchmarkQMKPBinarySearch' . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkGreedy|BenchmarkEvaluatorSweep' ./internal/kplex/ ./internal/fastoracle/ ; } \
 	| $(GO) run ./cmd/benchjson > BENCH_ISSUE3.json
 	@cat BENCH_ISSUE3.json
+	$(GO) test -run '^$$' -bench 'BenchmarkStoreCrossover' ./internal/fastoracle/ \
+	| $(GO) run ./cmd/benchjson > BENCH_ISSUE7.json
+	@cat BENCH_ISSUE7.json
 
 # Observability smoke: one seeded qMKP solve, traced twice at different
 # worker counts. The span/event stream and the metrics snapshot must be
@@ -95,6 +101,7 @@ fuzz-smoke:
 	$(GO) test ./internal/qarith/ -fuzz FuzzRippleCarryAdder -fuzztime 5s
 	$(GO) test ./internal/qarith/ -fuzz FuzzComparator -fuzztime 5s
 	$(GO) test ./internal/bitvec/ -fuzz FuzzBitVec -fuzztime 5s
+	$(GO) test ./internal/graph/ -fuzz FuzzGraphRead -fuzztime 5s
 	$(GO) test ./internal/oracle/ -run FuzzFastOracle -fuzz FuzzFastOracle -fuzztime 5s
 
 ci: build fmt-check vet lint test race bench-smoke obs-smoke

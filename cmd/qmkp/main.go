@@ -9,8 +9,9 @@
 //	qmkp -algo bs    -k 2 -dataset 'G_{10,23}'
 //	qmkp -algo qmkp  -k 2 -dataset 'G_{10,23}' -trace-out trace.jsonl -metrics-out metrics.json
 //
-// Input is either -graph (edge-list file, see internal/graph), -gen n,m (a
-// seeded random graph) or -dataset (a named paper dataset).
+// Input is either -graph (a DIMACS-style p/e file — .clq/.col headers
+// included — or a SNAP-style .snap/.edges list; see internal/graph),
+// -gen n,m (a seeded random graph) or -dataset (a named paper dataset).
 //
 // Runs are cancellable: -timeout bounds the solve, and an interrupt
 // (Ctrl-C) stops it at the next probe/try/shot boundary; either way the
@@ -72,7 +73,7 @@ func exitCode(err error) int {
 
 func run() error {
 	var (
-		algo    = flag.String("algo", "qmkp", "algorithm: qmkp | qtkp | qamkp | bs | naive | greedy | tabu | qnclub")
+		algo    = flag.String("algo", "qmkp", "algorithm: qmkp | qtkp | qamkp | bb | bs | naive | greedy | tabu | qnclub")
 		k       = flag.Int("k", 2, "k-plex parameter")
 		clubL   = flag.Int("club", 2, "qnclub: diameter bound n of the n-club")
 		tSize   = flag.Int("T", 0, "size threshold (qtkp only)")
@@ -213,6 +214,12 @@ func run() error {
 			return err
 		}
 		fmt.Printf("solution: size %d, set %v (%d nodes expanded)\n", res.Size, oneBased(res.Set), res.Nodes)
+	case "bb":
+		res, err := kplex.BB(g, *k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("solution: size %d, set %v (%d nodes expanded)\n", res.Size, oneBased(res.Set), res.Nodes)
 	case "naive":
 		res, err := kplex.Naive(g, *k)
 		if err != nil {
@@ -250,12 +257,9 @@ func loadGraph(file, gen, dataset string, seed int64) (*graph.Graph, error) {
 	}
 	switch {
 	case file != "":
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return graph.Read(f)
+		// Dispatches on the extension: DIMACS .clq/.col/p-e files and
+		// SNAP-style .snap/.edges lists both load.
+		return graph.ReadFile(file)
 	case gen != "":
 		var n, m int
 		if _, err := fmt.Sscanf(strings.ReplaceAll(gen, " ", ""), "%d,%d", &n, &m); err != nil {

@@ -61,15 +61,16 @@ type MaskAPI struct {
 const oneWordLimit = 64
 
 // DefaultMaskWidth returns the analyzer wired to the repo's one-word
-// mask surfaces.
+// mask surfaces. fastoracle.New is no longer seeded: since the
+// multi-word migration it accepts any vertex count (the one-word
+// surface inside it guards itself), so only the graph mask-convention
+// APIs still carry the implicit n ≤ 64 precondition.
 func DefaultMaskWidth() MaskWidth {
 	return MaskWidth{APIs: []MaskAPI{
 		{PkgSuffix: "internal/graph", Func: "MaskSubset"},
 		{PkgSuffix: "internal/graph", Func: "SubsetMask"},
 		{PkgSuffix: "internal/graph", Func: "Graph.NeighborMask"},
 		{PkgSuffix: "internal/graph", Func: "Graph.InducedDegreeMask"},
-		{PkgSuffix: "internal/fastoracle", Func: "New"},
-		{PkgSuffix: "internal/fastoracle", Func: "NewWeighted"},
 	}}
 }
 

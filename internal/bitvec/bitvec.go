@@ -66,6 +66,20 @@ func (v *Vector) Clear() {
 	}
 }
 
+// SetAll sets every bit in [0, Len). Bits past Len stay zero, preserving
+// the padding invariant Word/OnesCount rely on.
+func (v *Vector) SetAll() {
+	if v.n == 0 {
+		return
+	}
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	if tail := v.n % wordBits; tail != 0 {
+		v.words[len(v.words)-1] = ^uint64(0) >> uint(wordBits-tail)
+	}
+}
+
 // OnesCount returns the number of set bits.
 func (v *Vector) OnesCount() int {
 	c := 0
@@ -101,6 +115,79 @@ func (v *Vector) AndCount(o *Vector) int {
 		c += bits.OnesCount64(w & o.words[i])
 	}
 	return c
+}
+
+// checkLen panics unless o has the same length as v; op names the caller
+// in the message.
+func (v *Vector) checkLen(o *Vector, op string) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: %s length mismatch %d != %d", op, v.n, o.n))
+	}
+}
+
+// And intersects v with o in place (v ∧= o). The lengths must match.
+func (v *Vector) And(o *Vector) {
+	v.checkLen(o, "And")
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+	}
+}
+
+// Or unions o into v in place (v ∨= o). The lengths must match.
+func (v *Vector) Or(o *Vector) {
+	v.checkLen(o, "Or")
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+	}
+}
+
+// AndNot clears every bit of v that is set in o (v ∧= ¬o). The lengths
+// must match.
+func (v *Vector) AndNot(o *Vector) {
+	v.checkLen(o, "AndNot")
+	for i := range v.words {
+		v.words[i] &^= o.words[i]
+	}
+}
+
+// AndNotCount returns popcount(v ∧ ¬o) — the number of positions set in v
+// but not in o — without materialising the difference. The lengths must
+// match.
+func (v *Vector) AndNotCount(o *Vector) int {
+	v.checkLen(o, "AndNotCount")
+	c := 0
+	for i, w := range v.words {
+		c += bits.OnesCount64(w &^ o.words[i])
+	}
+	return c
+}
+
+// NextSet returns the smallest set index ≥ i, or -1 when no set bit
+// remains. The canonical iteration over members of a subset vector is
+//
+//	for v := s.NextSet(0); v >= 0; v = s.NextSet(v + 1)
+//
+// i may equal Len (yielding -1), so the loop needs no extra bound check.
+func (v *Vector) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= v.n {
+		return -1
+	}
+	w := i / wordBits
+	// Mask off the bits below i in the first word, then scan word-at-a-time.
+	cur := v.words[w] &^ (1<<uint(i%wordBits) - 1)
+	for {
+		if cur != 0 {
+			return w*wordBits + bits.TrailingZeros64(cur)
+		}
+		w++
+		if w >= len(v.words) {
+			return -1
+		}
+		cur = v.words[w]
+	}
 }
 
 // Any reports whether any bit is set.

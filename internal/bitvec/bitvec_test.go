@@ -223,3 +223,156 @@ func TestAndCountLengthMismatchPanics(t *testing.T) {
 	}()
 	New(10).AndCount(New(11))
 }
+
+// randomPair returns two random vectors of length n plus their []bool
+// models, for word-kernel cross-checks.
+func randomPair(n int, rng *rand.Rand) (a, b *Vector, ma, mb []bool) {
+	a, b = New(n), New(n)
+	ma, mb = make([]bool, n), make([]bool, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			a.Set(i, true)
+			ma[i] = true
+		}
+		if rng.Intn(2) == 0 {
+			b.Set(i, true)
+			mb[i] = true
+		}
+	}
+	return a, b, ma, mb
+}
+
+func TestInPlaceKernelsAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{1, 7, 63, 64, 65, 100, 128, 130} {
+		for trial := 0; trial < 20; trial++ {
+			a, b, ma, mb := randomPair(n, rng)
+			and, or, andNot := a.Clone(), a.Clone(), a.Clone()
+			and.And(b)
+			or.Or(b)
+			andNot.AndNot(b)
+			wantAndNotCount := 0
+			for i := 0; i < n; i++ {
+				if and.Get(i) != (ma[i] && mb[i]) {
+					t.Fatalf("n=%d: And bit %d = %v", n, i, and.Get(i))
+				}
+				if or.Get(i) != (ma[i] || mb[i]) {
+					t.Fatalf("n=%d: Or bit %d = %v", n, i, or.Get(i))
+				}
+				if andNot.Get(i) != (ma[i] && !mb[i]) {
+					t.Fatalf("n=%d: AndNot bit %d = %v", n, i, andNot.Get(i))
+				}
+				if ma[i] && !mb[i] {
+					wantAndNotCount++
+				}
+			}
+			if got := a.AndNotCount(b); got != wantAndNotCount {
+				t.Fatalf("n=%d: AndNotCount = %d, want %d", n, got, wantAndNotCount)
+			}
+			// The in-place kernels must preserve the padding invariant.
+			for _, v := range []*Vector{and, or, andNot} {
+				count := 0
+				for i := 0; i < n; i++ {
+					if v.Get(i) {
+						count++
+					}
+				}
+				if v.OnesCount() != count {
+					t.Fatalf("n=%d: padding bits leaked into OnesCount (%d != %d)", n, v.OnesCount(), count)
+				}
+			}
+		}
+	}
+}
+
+func TestSetAll(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 130} {
+		v := New(n)
+		v.SetAll()
+		if v.OnesCount() != n {
+			t.Fatalf("n=%d: OnesCount after SetAll = %d", n, v.OnesCount())
+		}
+		if n > 0 {
+			// Padding bits must stay zero so Word popcounts are exact.
+			last := v.Word(v.NumWords() - 1)
+			if tail := n % 64; tail != 0 && last>>uint(tail) != 0 {
+				t.Fatalf("n=%d: padding bits set in last word %b", n, last)
+			}
+		}
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 5, 63, 64, 100, 129} {
+		v.Set(i, true)
+	}
+	want := []int{0, 5, 63, 64, 100, 129}
+	got := []int{}
+	for i := v.NextSet(0); i >= 0; i = v.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("NextSet walk = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NextSet walk = %v, want %v", got, want)
+		}
+	}
+	if v.NextSet(130) != -1 {
+		t.Error("NextSet(Len) != -1")
+	}
+	if v.NextSet(-3) != 0 {
+		t.Error("NextSet(negative) should clamp to 0")
+	}
+	if New(70).NextSet(0) != -1 {
+		t.Error("NextSet on empty vector != -1")
+	}
+}
+
+func TestNextSetRandomAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		v := New(n)
+		model := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				v.Set(i, true)
+				model[i] = true
+			}
+		}
+		for start := 0; start <= n; start++ {
+			want := -1
+			for i := start; i < n; i++ {
+				if model[i] {
+					want = i
+					break
+				}
+			}
+			if got := v.NextSet(start); got != want {
+				t.Fatalf("n=%d: NextSet(%d) = %d, want %d", n, start, got, want)
+			}
+		}
+	}
+}
+
+func TestKernelLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	for name, fn := range map[string]func(){
+		"And":         func() { a.And(b) },
+		"Or":          func() { a.Or(b) },
+		"AndNot":      func() { a.AndNot(b) },
+		"AndNotCount": func() { a.AndNotCount(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on mismatched lengths did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

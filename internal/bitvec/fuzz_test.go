@@ -82,6 +82,67 @@ func FuzzBitVec(f *testing.F) {
 				t.Fatal("CopyFrom did not restore equality")
 			}
 		}
+		// Word-level kernels against the model: derive a second operand
+		// deterministically from the program bytes, then check the in-place
+		// And/Or/AndNot family, the counted variants, and NextSet iteration.
+		w := New(n)
+		modelW := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if data[(i*7+3)%len(data)]&1 != 0 {
+				w.Set(i, true)
+				modelW[i] = true
+			}
+		}
+		and, or, andNot := v.Clone(), v.Clone(), v.Clone()
+		and.And(w)
+		or.Or(w)
+		andNot.AndNot(w)
+		wantAndCount, wantAndNotCount := 0, 0
+		for i := 0; i < n; i++ {
+			if and.Get(i) != (model[i] && modelW[i]) {
+				t.Fatalf("And bit %d = %v, model says %v", i, and.Get(i), model[i] && modelW[i])
+			}
+			if or.Get(i) != (model[i] || modelW[i]) {
+				t.Fatalf("Or bit %d = %v, model says %v", i, or.Get(i), model[i] || modelW[i])
+			}
+			if andNot.Get(i) != (model[i] && !modelW[i]) {
+				t.Fatalf("AndNot bit %d = %v, model says %v", i, andNot.Get(i), model[i] && !modelW[i])
+			}
+			if model[i] && modelW[i] {
+				wantAndCount++
+			}
+			if model[i] && !modelW[i] {
+				wantAndNotCount++
+			}
+		}
+		if got := v.AndCount(w); got != wantAndCount {
+			t.Fatalf("AndCount = %d, model says %d", got, wantAndCount)
+		}
+		if got := v.AndNotCount(w); got != wantAndNotCount {
+			t.Fatalf("AndNotCount = %d, model says %d", got, wantAndNotCount)
+		}
+		walked := 0
+		prev := -1
+		for i := v.NextSet(0); i >= 0; i = v.NextSet(i + 1) {
+			if i <= prev || i >= n || !model[i] {
+				t.Fatalf("NextSet walked to %d (prev %d)", i, prev)
+			}
+			for j := prev + 1; j < i; j++ {
+				if model[j] {
+					t.Fatalf("NextSet skipped set bit %d", j)
+				}
+			}
+			prev = i
+			walked++
+		}
+		if walked != ones {
+			t.Fatalf("NextSet walked %d bits, model has %d", walked, ones)
+		}
+		full := New(n)
+		full.SetAll()
+		if full.OnesCount() != n {
+			t.Fatalf("SetAll OnesCount = %d, want %d", full.OnesCount(), n)
+		}
 		v.Clear()
 		if v.Any() {
 			t.Fatal("Any true after Clear")

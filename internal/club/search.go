@@ -15,10 +15,13 @@ func QTClub(g *graph.Graph, L, T int, rng *rand.Rand) (Result, bool, error) {
 		rng = rand.New(rand.NewSource(1))
 	}
 	n := g.N()
+	if n > 64 {
+		return Result{}, false, fmt.Errorf("club: search enumerates one-word subset masks, needs n ≤ 64, got n=%d", n)
+	}
 	// The semantic fast path answers the same predicate as the circuit
 	// (differentially tested); the circuit is still compiled for gate
 	// accounting either way.
-	orc, err := BuildOracleOpts(g, L, T, Options{FastPath: n <= 64})
+	orc, err := BuildOracleOpts(g, L, T, Options{FastPath: true})
 	if err != nil {
 		return Result{}, false, err
 	}

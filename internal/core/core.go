@@ -23,6 +23,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -149,6 +150,12 @@ func runTKP(ctx context.Context, g *graph.Graph, orc *oracle.Oracle, o GateOptio
 // sweep (runTKP) or the cross-threshold cplex table (SolveMKP). Given the
 // same (pred, m, gates, rng) it is bit-identical across those sources.
 func runTKPPred(ctx context.Context, n int, pred func(uint64) bool, m int, gates int64, o GateOptions, ob obs.Obs) (TKPResult, error) {
+	if n > 64 {
+		// The Grover register and the measured-mask decoding are one-word;
+		// gateSpecCheck keeps every caller far below this, but the engine
+		// guards its own encoding rather than trusting the call sites.
+		return TKPResult{}, fmt.Errorf("core: grover register needs n ≤ 64, got n=%d: %w", n, ErrTooLarge)
+	}
 	mEst := m
 	if o.QuantumCounting {
 		est, err := grover.CountMarked(n, o.CountingQubits, pred)

@@ -164,17 +164,18 @@ func SolveMKP(ctx context.Context, g *graph.Graph, spec Spec) (MKPResult, error)
 	mx := spec.Obs.Metrics
 
 	// Cross-threshold cache: the k-plex half of the oracle predicate does
-	// not depend on T, so one parallel 2^n sweep (packed bitset + popcount
-	// histogram) serves every probe of the binary search — each probe's
-	// predicate is a word lookup and its exact solution count M(T) a
-	// histogram suffix sum, instead of a fresh per-T sweep.
-	var tab *fastoracle.Table
+	// not depend on T, so one store serves every probe of the binary
+	// search — each probe's predicate is a cached (or lazily evaluated)
+	// query and its exact solution count M(T) comes from the store,
+	// instead of a fresh per-T sweep. Gate-simulable instances sit far
+	// below fastoracle.DefaultTableCutoff, so this path always gets the
+	// packed exhaustive Table and stays bit-identical to the circuit.
+	var tab fastoracle.Store
 	if fastPathOK(n, o) {
-		eval, err := fastoracle.New(g, k)
+		tab, err = fastoracle.NewStore(g, k)
 		if err != nil {
 			return MKPResult{}, err
 		}
-		tab = eval.Table()
 	}
 	tabHits := mx.Counter("fastoracle.table.hits") // nil when metrics are off
 

@@ -1,0 +1,144 @@
+package fastoracle
+
+import (
+	"sort"
+
+	"repro/internal/bitvec"
+)
+
+// BBResult is the outcome of a BranchBound run. Nodes is the number of
+// search-tree nodes visited — a deterministic, machine-independent cost
+// measure (the search is serial and the branch order fixed, so the same
+// instance always produces the same count).
+type BBResult struct {
+	Size  int
+	Set   []int // sorted members of a maximum k-plex
+	Nodes int64
+}
+
+// BranchBound solves maximum k-plex exactly by deterministic serial
+// branch-and-bound over the multi-word complement rows — the classical
+// fallback when n exceeds what the circuit simulator (n ≤ gate cap) or
+// the exhaustive Table (n ≤ TableMaxVertices) can sweep. seed is an
+// optional incumbent (e.g. a greedy solution); it is adopted only if it
+// verifies as a k-plex, and a stronger incumbent tightens every prune
+// from the first node.
+//
+// The search enumerates k-plexes by the hereditary property (every
+// subset of a k-plex is a k-plex, so each k-plex is reachable by adding
+// vertices one at a time through k-plex intermediates): at each node a
+// candidate is included or excluded, candidates that no longer extend P
+// to a k-plex are dropped permanently (infeasibility is monotone under
+// growth of P), and two bounds prune — the trivial |P| + |feasible|,
+// and a per-member complement-budget bound: member u tolerates at most
+// k-1-cdeg(u) more complement neighbours, so any excess complement
+// neighbours of u among the feasible candidates must stay out.
+func (e *Evaluator) BranchBound(seed []int) BBResult {
+	b := &bbState{e: e, cdeg: make([]int, e.n)}
+	if len(seed) > 0 && e.KPlexSet(seed) {
+		b.best = len(seed)
+		b.bestSet = append([]int(nil), seed...)
+	}
+	// Branch order: complement-degree ascending (graph-degree descending),
+	// ties by index — low-complement-degree vertices constrain the least
+	// and tend to appear in large plexes, so the incumbent grows early.
+	order := make([]int, e.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return e.compVec[order[i]].OnesCount() < e.compVec[order[j]].OnesCount()
+	})
+	b.search(order)
+	sort.Ints(b.bestSet)
+	return BBResult{Size: b.best, Set: b.bestSet, Nodes: b.nodes}
+}
+
+// bbState is the mutable frame of one branch-and-bound (or lazy count)
+// run: the current partial plex P and, for every vertex v, the running
+// complement degree cdeg[v] = |compVec(v) ∩ P|.
+type bbState struct {
+	e       *Evaluator
+	pList   []int
+	cdeg    []int
+	best    int
+	bestSet []int
+	nodes   int64
+}
+
+// feasible reports whether P ∪ {v} is still a k-plex: v itself must have
+// complement budget left, and no saturated member (cdeg == k-1) may gain
+// v as a complement neighbour.
+func (b *bbState) feasible(v int) bool {
+	if b.cdeg[v] > b.e.k-1 {
+		return false
+	}
+	for _, u := range b.pList {
+		if b.cdeg[u] == b.e.k-1 && b.e.compVec[u].Get(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *bbState) add(v int) {
+	b.pList = append(b.pList, v)
+	row := b.e.compVec[v]
+	for u := row.NextSet(0); u >= 0; u = row.NextSet(u + 1) {
+		b.cdeg[u]++
+	}
+}
+
+func (b *bbState) remove(v int) {
+	b.pList = b.pList[:len(b.pList)-1]
+	row := b.e.compVec[v]
+	for u := row.NextSet(0); u >= 0; u = row.NextSet(u + 1) {
+		b.cdeg[u]--
+	}
+}
+
+// feasibleCands filters cand down to the vertices that still extend P to
+// a k-plex, returning the survivors (fresh slice) and their membership
+// vector for the popcount bound.
+func (b *bbState) feasibleCands(cand []int) ([]int, *bitvec.Vector) {
+	feas := make([]int, 0, len(cand))
+	feasVec := bitvec.New(b.e.n)
+	for _, v := range cand {
+		if b.feasible(v) {
+			feas = append(feas, v)
+			feasVec.Set(v, true)
+		}
+	}
+	return feas, feasVec
+}
+
+func (b *bbState) search(cand []int) {
+	b.nodes++
+	if len(b.pList) > b.best {
+		b.best = len(b.pList)
+		b.bestSet = append(b.bestSet[:0], b.pList...)
+	}
+	feas, feasVec := b.feasibleCands(cand)
+	ub := len(b.pList) + len(feas)
+	if ub <= b.best {
+		return
+	}
+	// Per-member complement budget: any k-plex S ⊇ P with S\P ⊆ feas has
+	// |compVec(u) ∩ S| ≤ k-1 for each u ∈ P, so at least
+	// |compVec(u) ∩ feas| - (k-1-cdeg[u]) feasible candidates stay out.
+	for _, u := range b.pList {
+		if excess := b.e.compVec[u].AndCount(feasVec) - (b.e.k - 1 - b.cdeg[u]); excess > 0 {
+			if bound := len(b.pList) + len(feas) - excess; bound < ub {
+				ub = bound
+			}
+		}
+	}
+	if ub <= b.best {
+		return
+	}
+	v := feas[0]
+	b.add(v)
+	b.search(feas[1:])
+	b.remove(v)
+	b.search(feas[1:])
+}

@@ -1,0 +1,128 @@
+package fastoracle
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// bruteMax sweeps all 2^n masks for the maximum k-plex size — the ground
+// truth BranchBound must reproduce.
+func bruteMax(e *Evaluator) int {
+	best := 0
+	for mask := uint64(0); mask < 1<<uint(e.n); mask++ {
+		if s := bits.OnesCount64(mask); s > best && e.KPlexMask(mask) {
+			best = s
+		}
+	}
+	return best
+}
+
+func TestBranchBoundMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(12)
+		g := graph.Gnp(n, 0.1+rng.Float64()*0.8, rng.Int63())
+		k := 1 + rng.Intn(3)
+		if k > n {
+			k = n
+		}
+		e, err := New(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteMax(e)
+		res := e.BranchBound(nil)
+		if res.Size != want {
+			t.Fatalf("n=%d k=%d: BranchBound=%d, brute force says %d", n, k, res.Size, want)
+		}
+		if len(res.Set) != res.Size {
+			t.Fatalf("n=%d k=%d: |Set|=%d != Size=%d", n, k, len(res.Set), res.Size)
+		}
+		if !g.IsKPlex(res.Set, k) {
+			t.Fatalf("n=%d k=%d: returned set %v is not a %d-plex", n, k, res.Set, k)
+		}
+	}
+}
+
+func TestBranchBoundSeed(t *testing.T) {
+	g := graph.Gnm(14, 40, 11)
+	e, err := New(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteMax(e)
+	// A valid optimal seed: the search must return it (or an equal-size
+	// set), never something smaller.
+	opt := e.BranchBound(nil)
+	seeded := e.BranchBound(opt.Set)
+	if seeded.Size != want {
+		t.Fatalf("optimal seed degraded the answer: %d, want %d", seeded.Size, want)
+	}
+	// An invalid seed (not a k-plex) is ignored, not trusted.
+	bad := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	if g.IsKPlex(bad, 2) {
+		t.Skip("random instance made the full vertex set a 2-plex; pick a new seed")
+	}
+	fromBad := e.BranchBound(bad)
+	if fromBad.Size != want {
+		t.Fatalf("invalid seed corrupted the answer: %d, want %d", fromBad.Size, want)
+	}
+	// A stronger incumbent can only prune more: same answer, no more nodes.
+	if seeded.Nodes > opt.Nodes {
+		t.Fatalf("optimal seed visited more nodes (%d) than unseeded (%d)", seeded.Nodes, opt.Nodes)
+	}
+}
+
+func TestBranchBoundDeterministic(t *testing.T) {
+	g := graph.Gnm(18, 60, 13)
+	e, err := New(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := e.BranchBound(nil)
+	b := e.BranchBound(nil)
+	if a.Size != b.Size || a.Nodes != b.Nodes || len(a.Set) != len(b.Set) {
+		t.Fatalf("two identical runs disagree: %+v vs %+v", a, b)
+	}
+	for i := range a.Set {
+		if a.Set[i] != b.Set[i] {
+			t.Fatalf("two identical runs returned different sets: %v vs %v", a.Set, b.Set)
+		}
+	}
+}
+
+// The multi-word regime: BranchBound past 64 vertices, where no mask
+// surface exists at all — the whole point of the compVec representation.
+func TestBranchBoundMultiWord(t *testing.T) {
+	g := graph.Gnm(80, 240, 17)
+	e, err := New(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.BranchBound(nil)
+	if res.Size < 2 {
+		t.Fatalf("Size=%d; any adjacent pair (or k singletons) beats this", res.Size)
+	}
+	if !g.IsKPlex(res.Set, 2) {
+		t.Fatalf("returned set %v is not a 2-plex", res.Set)
+	}
+	if !e.KPlexVec(graph.SubsetVec(res.Set, 80)) {
+		t.Fatal("KPlexVec disagrees with IsKPlex on the winner")
+	}
+	// A maximum k-plex must also be maximal: no vertex extends it.
+	in := make(map[int]bool, len(res.Set))
+	for _, v := range res.Set {
+		in[v] = true
+	}
+	for v := 0; v < 80; v++ {
+		if in[v] {
+			continue
+		}
+		if e.KPlexSet(append(append([]int(nil), res.Set...), v)) {
+			t.Fatalf("vertex %d extends the reported maximum", v)
+		}
+	}
+}

@@ -20,44 +20,73 @@
 package fastoracle
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 
+	"repro/internal/bitvec"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
-// Evaluator answers the oracle predicate for one fixed graph and k.
-// Subset masks use the paper's ket convention (vertex i at bit n-1-i, see
-// graph.MaskSubset); all methods are safe for concurrent use once built.
+// ErrTooLarge marks an instance beyond a representation's capacity: the
+// exhaustive Table above TableMaxVertices, or the one-word mask surface
+// above 64 vertices. core maps it onto its own ErrTooLarge sentinel;
+// callers branch with errors.Is.
+var ErrTooLarge = errors.New("fastoracle: instance too large")
+
+// Evaluator answers the oracle predicate for one fixed graph and k, at
+// any vertex count. Two representations coexist:
+//
+//   - the one-word fast case (n ≤ 64): subset masks in the paper's ket
+//     convention (vertex i at bit n-1-i, see graph.MaskSubset), answered
+//     by KPlexMask/Marked — bit-identical to the compiled circuit;
+//   - the multi-word case (any n): natural-order bitvec subsets
+//     (vertex v at bit v, see graph.SubsetVec), answered by
+//     KPlexVec/KPlexSet over packed multi-word complement rows.
+//
+// All methods are safe for concurrent use once built.
 type Evaluator struct {
 	n, k int
 	// adjComp[v] is the complement adjacency row of vertex v as a subset
 	// mask: bit n-1-u is set iff {v,u} is a complement edge. The k-cplex
 	// check for a member v is then popcount(adjComp[v] & mask) ≤ k-1.
+	// One-word fast case only: nil when n > 64.
 	adjComp []uint64
+	// compVec[v] is the same complement row as a natural-order bit vector
+	// (bit u set iff {v,u} is a complement edge; no self bit) — the
+	// multi-word representation backing KPlexVec and BranchBound.
+	compVec []*bitvec.Vector
 }
 
 // New builds the evaluator for graph g (the original graph; the
-// complement is formed internally, mirroring oracle.Build). The mask
-// encoding is a single word, so n ≤ 64 is a hard bound.
+// complement is formed internally, mirroring oracle.Build). Any vertex
+// count is accepted; the one-word mask surface additionally requires
+// n ≤ 64 and is only materialised below that width.
 func New(g *graph.Graph, k int) (*Evaluator, error) {
 	n := g.N()
 	if n < 1 {
 		return nil, fmt.Errorf("fastoracle: empty graph")
 	}
-	if n > 64 {
-		return nil, fmt.Errorf("fastoracle: n=%d exceeds the 64-vertex mask encoding", n)
-	}
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("fastoracle: k=%d out of range [1,%d]", k, n)
 	}
-	e := &Evaluator{n: n, k: k, adjComp: make([]uint64, n)}
-	full := ^uint64(0) >> uint(64-n)
+	e := &Evaluator{n: n, k: k, compVec: make([]*bitvec.Vector, n)}
 	for v := 0; v < n; v++ {
 		// Complement row = all vertices minus v itself minus g-neighbours.
-		e.adjComp[v] = full &^ (uint64(1) << uint(n-1-v)) &^ g.NeighborMask(v)
+		row := bitvec.New(n)
+		row.SetAll()
+		row.Set(v, false)
+		row.AndNot(g.NeighborVec(v))
+		e.compVec[v] = row
+	}
+	if n <= 64 {
+		e.adjComp = make([]uint64, n)
+		full := ^uint64(0) >> uint(64-n)
+		for v := 0; v < n; v++ {
+			e.adjComp[v] = full &^ (uint64(1) << uint(n-1-v)) &^ g.NeighborMask(v)
+		}
 	}
 	return e, nil
 }
@@ -68,10 +97,19 @@ func (e *Evaluator) N() int { return e.n }
 // K returns the plex parameter.
 func (e *Evaluator) K() int { return e.k }
 
+// maskable panics unless the one-word mask surface exists (n ≤ 64).
+func (e *Evaluator) maskable() {
+	if e.adjComp == nil {
+		panic(fmt.Sprintf("fastoracle: n=%d exceeds the one-word mask surface (n ≤ 64); use KPlexVec/KPlexSet", e.n))
+	}
+}
+
 // KPlexMask reports whether the mask-encoded subset is a k-plex of g —
 // equivalently a k-cplex of the complement, the T-independent half of the
-// oracle predicate. O(|mask|) popcounts.
+// oracle predicate. O(|mask|) popcounts. One-word fast case: panics when
+// n > 64 (use KPlexVec there).
 func (e *Evaluator) KPlexMask(mask uint64) bool {
+	e.maskable()
 	for m := mask; m != 0; m &= m - 1 {
 		v := e.n - 1 - bits.TrailingZeros64(m)
 		if bits.OnesCount64(e.adjComp[v]&mask) > e.k-1 {
@@ -87,10 +125,36 @@ func (e *Evaluator) Marked(mask uint64, T int) bool {
 	return bits.OnesCount64(mask) >= T && e.KPlexMask(mask)
 }
 
+// KPlexVec is KPlexMask for the multi-word representation: s is a
+// natural-order membership vector (graph.SubsetVec) of length n. Defined
+// at any vertex count; one AndCount popcount sweep per member.
+func (e *Evaluator) KPlexVec(s *bitvec.Vector) bool {
+	if s.Len() != e.n {
+		panic(fmt.Sprintf("fastoracle: subset length %d != n=%d", s.Len(), e.n))
+	}
+	for v := s.NextSet(0); v >= 0; v = s.NextSet(v + 1) {
+		if e.compVec[v].AndCount(s) > e.k-1 {
+			return false
+		}
+	}
+	return true
+}
+
+// KPlexSet is KPlexVec for a plain vertex list.
+func (e *Evaluator) KPlexSet(set []int) bool {
+	return e.KPlexVec(graph.SubsetVec(set, e.n))
+}
+
 // tableGrain is the per-chunk word count of the parallel table build: 64
 // words = 4096 masks per chunk, enough semantic evaluations to amortise
 // chunk dispatch while keeping all workers busy on 2^10-mask instances.
 const tableGrain = 64
+
+// TableMaxVertices caps the exhaustive Table: 2^30 masks ≈ 128 MiB of
+// packed bits is the largest sweep worth materialising. The cap also
+// fixes a latent overflow — the old `1 << n` table size silently wrapped
+// to 0 at n=64, so Contains indexed an empty word slice and panicked.
+const TableMaxVertices = 30
 
 // Table is the packed cross-threshold cplex cache: bit mask of word
 // mask/64 records whether that subset is a k-plex of g, and bySize[s]
@@ -105,8 +169,15 @@ type Table struct {
 // Table sweeps all 2^n masks through the semantic predicate, fanning
 // word-aligned chunks out over the worker pool (each word's 64 masks are
 // written by exactly one worker). The result is bit-identical at any
-// worker count.
-func (e *Evaluator) Table() *Table {
+// worker count. Instances above TableMaxVertices return ErrTooLarge: the
+// shift `1 << n` is undefined word-width territory at n=64 (it used to
+// wrap the table size to 0 and panic on the first Contains probe), and
+// sweeps beyond 2^30 masks are not worth materialising — use NewStore,
+// which falls back to the Lazy store there.
+func (e *Evaluator) Table() (*Table, error) {
+	if e.n > TableMaxVertices {
+		return nil, fmt.Errorf("fastoracle: exhaustive table needs n ≤ %d, got n=%d: %w", TableMaxVertices, e.n, ErrTooLarge)
+	}
 	size := 1 << uint(e.n)
 	nw := (size + 63) / 64
 	t := &Table{n: e.n, words: make([]uint64, nw), bySize: make([]int, e.n+1)}
@@ -132,7 +203,7 @@ func (e *Evaluator) Table() *Table {
 			t.bySize[bits.OnesCount64(mask)]++
 		}
 	}
-	return t
+	return t, nil
 }
 
 // N returns the vertex count the table was built for.

@@ -59,8 +59,26 @@ func TestEvaluatorValidation(t *testing.T) {
 	if _, err := New(graph.New(0), 1); err == nil {
 		t.Error("empty graph accepted")
 	}
-	if _, err := New(graph.New(65), 1); err == nil {
-		t.Error("n=65 accepted (mask encoding is a single word)")
+	// n=65 no longer errors — the multi-word representation covers it —
+	// but the one-word mask surface must refuse loudly rather than shift
+	// out of the word.
+	e, err := New(graph.New(65), 1)
+	if err != nil {
+		t.Fatalf("n=65 rejected, want multi-word evaluator: %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("KPlexMask at n=65 did not panic")
+			}
+		}()
+		e.KPlexMask(1)
+	}()
+	if !e.KPlexSet([]int{64}) {
+		t.Error("KPlexSet rejected a singleton (always a k-plex)")
+	}
+	if e.KPlexSet([]int{0, 64}) {
+		t.Error("KPlexSet accepted a non-adjacent pair as a 1-plex")
 	}
 }
 
@@ -77,7 +95,10 @@ func TestTableMatchesEvaluator(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tab := e.Table()
+		tab, err := e.Table()
+		if err != nil {
+			t.Fatal(err)
+		}
 		for mask := uint64(0); mask < 1<<uint(n); mask++ {
 			if tab.Contains(mask) != e.KPlexMask(mask) {
 				t.Fatalf("n=%d k=%d mask=%b: table disagrees with evaluator", n, k, mask)
@@ -104,7 +125,10 @@ func TestTableCountsAndMaxSize(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tab := e.Table()
+		tab, err := e.Table()
+		if err != nil {
+			t.Fatal(err)
+		}
 		best := 0
 		for T := 0; T <= n; T++ {
 			want := 0
@@ -134,10 +158,16 @@ func TestTableDeterministicAcrossWorkers(t *testing.T) {
 	}
 	prev := parallel.SetWorkers(1)
 	defer parallel.SetWorkers(prev)
-	want := e.Table()
+	want, err := e.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, w := range []int{2, 8} {
 		parallel.SetWorkers(w)
-		got := e.Table()
+		got, gerr := e.Table()
+		if gerr != nil {
+			t.Fatal(gerr)
+		}
 		for i, word := range want.words {
 			if got.words[i] != word {
 				t.Fatalf("workers=%d: table word %d differs", w, i)
@@ -159,6 +189,8 @@ func BenchmarkEvaluatorSweep(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.Table()
+		if _, err := e.Table(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// headerN cheaply pre-parses the first problem line so the fuzzer cannot
+// drive Read into a gigantic New(n) allocation before validation.
+func headerN(data []byte) int {
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 || fields[0] != "p" {
+			continue
+		}
+		if len(fields) >= 2 && (fields[1] == "edge" || fields[1] == "col") {
+			fields = fields[1:]
+		}
+		if len(fields) < 2 {
+			return 0
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return 0
+		}
+		return n
+	}
+	return 0
+}
+
+// FuzzGraphRead feeds arbitrary text through the strict DIMACS parser.
+// Inputs the parser accepts must satisfy the loader invariants: the graph
+// round-trips bit-identically through Write/Read and WriteDIMACS/Read,
+// and the edge count matches the header. Everything else must return an
+// error, never panic.
+func FuzzGraphRead(f *testing.F) {
+	f.Add([]byte("p 3 2\ne 1 2\ne 2 3\n"))                          // valid compact DIMACS
+	f.Add([]byte("c comment\np edge 4 3\ne 1 2\ne 3 4\ne 1 4\n"))   // standard .clq header
+	f.Add([]byte("p 2 2\ne 1 2\ne 2 1\n"))                          // duplicate edge (reversed)
+	f.Add([]byte("p 3 5\ne 1 2\n"))                                 // bad declared count
+	f.Add([]byte("ce 1 2\np 2 0\n"))                                // comment-lookalike directive
+	f.Add([]byte("# hash comment\nc\nc tab\np 1 0\n"))              // comment forms
+	f.Add([]byte("p edge 6 4\ne 1 6\ne 2 5\ne 3 4\ne 1 2\nc done")) // no trailing newline
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<14 || headerN(data) > 1<<12 {
+			return // keep allocations bounded; huge-n handling is not under test
+		}
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if g.N() < 0 || g.M() < 0 {
+			t.Fatalf("accepted graph has negative sizes: %v", g)
+		}
+		for name, writer := range map[string]func(*bytes.Buffer) error{
+			"compact": func(b *bytes.Buffer) error { return Write(b, g) },
+			"dimacs":  func(b *bytes.Buffer) error { return WriteDIMACS(b, g) },
+		} {
+			var buf bytes.Buffer
+			if werr := writer(&buf); werr != nil {
+				t.Fatalf("%s write of accepted graph failed: %v", name, werr)
+			}
+			got, rerr := Read(bytes.NewReader(buf.Bytes()))
+			if rerr != nil {
+				t.Fatalf("%s round-trip rejected: %v", name, rerr)
+			}
+			if got.N() != g.N() || got.M() != g.M() {
+				t.Fatalf("%s round-trip changed sizes: %v vs %v", name, got, g)
+			}
+			for u := 0; u < g.N(); u++ {
+				for v := u + 1; v < g.N(); v++ {
+					if got.HasEdge(u, v) != g.HasEdge(u, v) {
+						t.Fatalf("%s round-trip flipped edge {%d,%d}", name, u, v)
+					}
+				}
+			}
+		}
+	})
+}

@@ -4,28 +4,61 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 )
 
-// The text format is a simplified DIMACS edge list:
+// Text formats. Read handles DIMACS-style edge lists — both the repo's
+// compact header and the standard DIMACS .clq/.col header:
 //
-//	# comments start with # or c
-//	p <n> <m>
+//	c comments ("c" alone or "c <text>"; "#" also accepted)
+//	p <n> <m>        (compact)
+//	p edge <n> <m>   (standard DIMACS)
 //	e <u> <v>
 //
 // Vertices in files are 1-based (DIMACS convention, and the paper's v1..vn
-// labelling); in-memory graphs are 0-based.
+// labelling); in-memory graphs are 0-based. The parser is strict: the edge
+// count must match the header's m, duplicate e-lines are rejected, and a
+// directive merely starting with 'c' (e.g. "ce") is an error rather than a
+// comment — so truncated or corrupted instance files fail loudly instead
+// of producing a silently different graph.
+//
+// ReadSNAP handles SNAP-style edge lists ("u v" per line, '#' comments,
+// arbitrary ids); ReadFile dispatches on the file extension.
 
-// Read parses a graph from r.
+// isComment reports whether a trimmed line is a comment: '#'-prefixed, or
+// the DIMACS comment directive — exactly "c", or "c" followed by
+// whitespace. "ce"/"cost"-style directives are NOT comments; they fall
+// through to the directive switch and error there.
+func isComment(text string) bool {
+	return strings.HasPrefix(text, "#") || text == "c" ||
+		strings.HasPrefix(text, "c ") || strings.HasPrefix(text, "c\t")
+}
+
+// parseInt is strconv.Atoi with the line number in the error.
+func parseInt(line int, field string) (int, error) {
+	v, err := strconv.Atoi(field)
+	if err != nil {
+		return 0, fmt.Errorf("graph: line %d: bad integer %q", line, field)
+	}
+	return v, nil
+}
+
+// Read parses a graph from r in the DIMACS-style format above.
 func Read(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var g *Graph
+	declared := 0
 	edges := 0
 	line := 0
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "c") {
+		if text == "" || isComment(text) {
 			continue
 		}
 		fields := strings.Fields(text)
@@ -34,30 +67,51 @@ func Read(r io.Reader) (*Graph, error) {
 			if g != nil {
 				return nil, fmt.Errorf("graph: line %d: duplicate problem line", line)
 			}
-			var n, m int
-			if len(fields) != 3 {
-				return nil, fmt.Errorf("graph: line %d: want 'p <n> <m>'", line)
+			args := fields[1:]
+			// Standard DIMACS writes `p edge <n> <m>` (and `p col …` for
+			// colouring instances); the compact form omits the keyword.
+			if len(args) == 3 && (args[0] == "edge" || args[0] == "col") {
+				args = args[1:]
 			}
-			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &n, &m); err != nil {
-				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			if len(args) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want 'p [edge] <n> <m>'", line)
+			}
+			n, err := parseInt(line, args[0])
+			if err != nil {
+				return nil, err
+			}
+			m, err := parseInt(line, args[1])
+			if err != nil {
+				return nil, err
+			}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative size in problem line", line)
 			}
 			g = New(n)
+			declared = m
 		case "e":
 			if g == nil {
 				return nil, fmt.Errorf("graph: line %d: edge before problem line", line)
 			}
-			var u, v int
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("graph: line %d: want 'e <u> <v>'", line)
 			}
-			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &u, &v); err != nil {
-				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			u, err := parseInt(line, fields[1])
+			if err != nil {
+				return nil, err
+			}
+			v, err := parseInt(line, fields[2])
+			if err != nil {
+				return nil, err
 			}
 			if u < 1 || u > g.n || v < 1 || v > g.n {
 				return nil, fmt.Errorf("graph: line %d: vertex out of range 1..%d", line, g.n)
 			}
 			if u == v {
 				return nil, fmt.Errorf("graph: line %d: self-loop at %d", line, u)
+			}
+			if g.HasEdge(u-1, v-1) {
+				return nil, fmt.Errorf("graph: line %d: duplicate edge {%d,%d}", line, u, v)
 			}
 			g.AddEdge(u-1, v-1)
 			edges++
@@ -71,13 +125,105 @@ func Read(r io.Reader) (*Graph, error) {
 	if g == nil {
 		return nil, fmt.Errorf("graph: missing problem line")
 	}
+	if edges != declared {
+		return nil, fmt.Errorf("graph: edge count mismatch: problem line declares %d, file has %d", declared, edges)
+	}
 	return g, nil
 }
 
-// Write serialises g in the text format accepted by Read.
+// ReadSNAP parses a SNAP-style edge list: one "u v" pair of non-negative
+// vertex ids per whitespace-separated line, '#' comment lines. Ids need
+// not be contiguous; they are remapped to 0..n-1 in ascending id order
+// (deterministic regardless of file order), with the mapping returned as
+// new-index → original-id. Self-loops are skipped and duplicate pairs
+// (including the reverse orientation SNAP files usually carry) collapse —
+// SNAP dumps are adjacency exports, not checked instance files, so the
+// lenient treatment mirrors how the datasets are distributed.
+func ReadSNAP(r io.Reader) (*Graph, []int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	type pair struct{ u, v int }
+	var pairs []pair
+	seen := map[int]bool{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: want '<u> <v>'", line)
+		}
+		u, err := parseInt(line, fields[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		v, err := parseInt(line, fields[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		if u < 0 || v < 0 {
+			return nil, nil, fmt.Errorf("graph: line %d: negative vertex id", line)
+		}
+		seen[u], seen[v] = true, true
+		if u != v {
+			pairs = append(pairs, pair{u, v})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: read: %w", err)
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	idx := make(map[int]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	g := New(len(ids))
+	for _, p := range pairs {
+		g.AddEdge(idx[p.u], idx[p.v]) // AddEdge collapses duplicates
+	}
+	return g, ids, nil
+}
+
+// ReadFile loads a graph from path, dispatching on the extension:
+// .snap/.edges → ReadSNAP (the id mapping is dropped; load via ReadSNAP
+// directly to keep it), anything else (.clq, .col, .dimacs, .txt, …) →
+// the DIMACS-style Read.
+func ReadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".snap", ".edges":
+		g, _, rerr := ReadSNAP(f)
+		return g, rerr
+	default:
+		return Read(f)
+	}
+}
+
+// Write serialises g in the compact text format accepted by Read.
 func Write(w io.Writer, g *Graph) error {
+	return write(w, g, "p %d %d\n")
+}
+
+// WriteDIMACS serialises g with the standard DIMACS header
+// ("p edge <n> <m>"), the form real .clq instance files carry.
+func WriteDIMACS(w io.Writer, g *Graph) error {
+	return write(w, g, "p edge %d %d\n")
+}
+
+func write(w io.Writer, g *Graph, header string) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "p %d %d\n", g.n, g.m); err != nil {
+	if _, err := fmt.Fprintf(bw, header, g.n, g.m); err != nil {
 		return err
 	}
 	for _, e := range g.Edges() {

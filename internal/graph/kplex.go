@@ -1,6 +1,9 @@
 package graph
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // IsKPlex reports whether set is a k-plex in g: every v ∈ set has at least
 // |set|-k neighbours inside set. Following Definition 1, the empty set and
@@ -57,17 +60,17 @@ func (g *Graph) IsKPlexMask(mask uint64, k int) bool {
 // the number with size ≥ T, by exhaustive enumeration over all 2^n subsets.
 // It is the classical ground truth used to size Grover iteration counts in
 // tests and to validate the quantum counting routine. Exponential: intended
-// for n ≤ ~22.
+// for n ≤ ~22, and hard-capped below 64 where the `1 << n` loop bound
+// would silently wrap.
 func (g *Graph) CountKPlexesOfSize(k, T int) (exactly, atLeast int) {
 	n := g.n
+	if n >= 64 {
+		panic(fmt.Sprintf("graph: CountKPlexesOfSize sweeps 2^n masks, needs n < 64, got n=%d", n))
+	}
 	for mask := uint64(0); mask < 1<<uint(n); mask++ {
-		set := MaskSubset(mask, n)
-		if len(set) < T {
-			continue
-		}
-		if g.IsKPlex(set, k) {
+		if size := bits.OnesCount64(mask); size >= T && g.IsKPlexMask(mask, k) {
 			atLeast++
-			if len(set) == T {
+			if size == T {
 				exactly++
 			}
 		}

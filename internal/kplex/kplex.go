@@ -183,14 +183,40 @@ func (st *bsState) search(cand []int) {
 	st.search(rest)
 }
 
+// BB finds a maximum k-plex with the deterministic multi-word
+// branch-and-bound over packed complement rows
+// (fastoracle.BranchBound): the exact classical engine past the
+// one-word mask wall — any vertex count — seeded with the greedy
+// incumbent so pruning bites from the first node.
+func BB(g *graph.Graph, k int) (Result, error) {
+	if k < 1 {
+		return Result{}, fmt.Errorf("kplex: k=%d must be ≥ 1", k)
+	}
+	n := g.N()
+	if n == 0 {
+		return Result{Nodes: 1}, nil
+	}
+	kEff := k
+	if kEff > n {
+		kEff = n
+	}
+	e, err := fastoracle.New(g, kEff)
+	if err != nil {
+		return Result{}, fmt.Errorf("kplex: %w", err)
+	}
+	res := e.BranchBound(Greedy(g, kEff))
+	return Result{Set: res.Set, Size: res.Size, Nodes: res.Nodes}, nil
+}
+
 // MaxKPlex is the production entry point: it computes a greedy lower
 // bound, applies the core–truss co-pruning reduction targeting a strictly
-// better solution, runs BS on the reduced graph, and lifts the answer back
-// to original vertex ids.
+// better solution, runs the branch-and-bound on the reduced graph, and
+// lifts the answer back to original vertex ids. Works at any vertex
+// count — the engine needs no mask encoding.
 func MaxKPlex(g *graph.Graph, k int) (Result, error) {
 	lb := Greedy(g, k)
 	red := g.CoTrussPrune(k, len(lb)+1)
-	res, err := BS(red.Graph, k)
+	res, err := BB(red.Graph, k)
 	if err != nil {
 		return Result{}, err
 	}

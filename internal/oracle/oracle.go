@@ -128,6 +128,14 @@ func BuildOpts(g *graph.Graph, k, T int, opts Options) (*Oracle, error) {
 	if T < 1 || T > n {
 		return nil, fmt.Errorf("oracle: T=%d out of range [1,%d]", T, n)
 	}
+	if opts.FastPath && n > 64 {
+		// The fast path answers one-word subset masks; beyond 64 vertices
+		// only the multi-word surface exists (fastoracle.KPlexVec), which
+		// the mask-keyed truth table cannot consume. Refuse up front — the
+		// same "fast path unavailable" contract fastoracle.New enforced
+		// when it still rejected wide graphs at construction.
+		return nil, fmt.Errorf("oracle: fast path unavailable: one-word masks need n ≤ 64, got n=%d", n)
+	}
 	comp := g.Complement()
 	c := qsim.NewCircuit()
 	o := &Oracle{N: n, K: k, T: T, circuit: c, metrics: opts.Metrics}
