@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt-check vet lint lint-json lint-sarif lint-baseline vulncheck test race bench-smoke bench-json obs-smoke fuzz-smoke ci
+.PHONY: build fmt-check vet lint lint-json lint-sarif lint-baseline vulncheck test race race-bb bench-smoke bench-json obs-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Race detector over the wave-parallel branch-and-bound at a high worker
+# count: the worker-invariance and differential tests exercise the
+# ForScratch fan-out, the frozen-incumbent waves and the Lazy store's
+# atomic node accounting under contention.
+race-bb:
+	REPRO_WORKERS=8 $(GO) test -race -run 'BranchBound|Differential|KernelMatchesRaw' \
+		./internal/fastoracle/ ./internal/kplex/
+
 # One iteration of every benchmark: catches benchmarks that panic or
 # fatal without paying for stable timings. Covers the fast-path packages
 # (root BenchmarkOracleSweep/BenchmarkQMKPBinarySearch pairs included).
@@ -80,6 +88,10 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkStoreCrossover' ./internal/fastoracle/ \
 	| $(GO) run ./cmd/benchjson > BENCH_ISSUE7.json
 	@cat BENCH_ISSUE7.json
+	{ $(GO) test -run '^$$' -bench 'BenchmarkBBEndToEnd' ./internal/kplex/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkBBFeasible' ./internal/fastoracle/ ; } \
+	| $(GO) run ./cmd/benchjson > BENCH_ISSUE8.json
+	@cat BENCH_ISSUE8.json
 
 # Observability smoke: one seeded qMKP solve, traced twice at different
 # worker counts. The span/event stream and the metrics snapshot must be
@@ -104,4 +116,4 @@ fuzz-smoke:
 	$(GO) test ./internal/graph/ -fuzz FuzzGraphRead -fuzztime 5s
 	$(GO) test ./internal/oracle/ -run FuzzFastOracle -fuzz FuzzFastOracle -fuzztime 5s
 
-ci: build fmt-check vet lint test race bench-smoke obs-smoke
+ci: build fmt-check vet lint test race race-bb bench-smoke obs-smoke

@@ -56,6 +56,8 @@ type Report struct {
 var slowFastPairs = map[string]string{
 	"circuit":   "fast",
 	"reference": "bitset",
+	"nokernel":  "kernel",
+	"workers1":  "workers8",
 }
 
 func main() {

@@ -47,6 +47,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kplex"
 	"repro/internal/obsio"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -73,20 +74,22 @@ func exitCode(err error) int {
 
 func run() error {
 	var (
-		algo    = flag.String("algo", "qmkp", "algorithm: qmkp | qtkp | qamkp | bb | bs | naive | greedy | tabu | qnclub")
-		k       = flag.Int("k", 2, "k-plex parameter")
-		clubL   = flag.Int("club", 2, "qnclub: diameter bound n of the n-club")
-		tSize   = flag.Int("T", 0, "size threshold (qtkp only)")
-		file    = flag.String("graph", "", "edge-list file (p/e format, 1-based vertices)")
-		gen     = flag.String("gen", "", "generate a random graph: n,m")
-		dataset = flag.String("dataset", "", "named paper dataset, e.g. 'G_{10,23}'")
-		seed    = flag.Int64("seed", 1, "random seed")
-		shots   = flag.Int("shots", 200, "qaMKP: number of anneals")
-		deltaT  = flag.Int("deltat", 5, "qaMKP: sweeps per anneal (µs analogue)")
-		rPen    = flag.Float64("R", 2, "qaMKP: penalty weight (must be > 1)")
-		embed   = flag.Bool("embed", false, "qaMKP: run through the hardware-embedding pipeline")
-		reduce  = flag.Bool("reduce", false, "apply core-truss co-pruning before solving")
-		circuit = flag.Bool("circuit", false, "qmkp/qtkp: force oracle evaluation through circuit replay (disables the semantic fast path; same results, slower)")
+		algo     = flag.String("algo", "qmkp", "algorithm: qmkp | qtkp | qamkp | bb | bs | naive | greedy | tabu | qnclub")
+		k        = flag.Int("k", 2, "k-plex parameter")
+		clubL    = flag.Int("club", 2, "qnclub: diameter bound n of the n-club")
+		tSize    = flag.Int("T", 0, "size threshold (qtkp only)")
+		file     = flag.String("graph", "", "edge-list file (p/e format, 1-based vertices)")
+		gen      = flag.String("gen", "", "generate a random graph: n,m")
+		dataset  = flag.String("dataset", "", "named paper dataset, e.g. 'G_{10,23}'")
+		seed     = flag.Int64("seed", 1, "random seed")
+		shots    = flag.Int("shots", 200, "qaMKP: number of anneals")
+		deltaT   = flag.Int("deltat", 5, "qaMKP: sweeps per anneal (µs analogue)")
+		rPen     = flag.Float64("R", 2, "qaMKP: penalty weight (must be > 1)")
+		embed    = flag.Bool("embed", false, "qaMKP: run through the hardware-embedding pipeline")
+		reduce   = flag.Bool("reduce", false, "apply core-truss co-pruning before solving")
+		nokernel = flag.Bool("nokernel", false, "bb: skip kernelization (degree peeling + component split) and search the raw graph")
+		workers  = flag.Int("workers", 0, "worker count for parallel phases (0 = keep REPRO_WORKERS / NumCPU default); results are identical at any value")
+		circuit  = flag.Bool("circuit", false, "qmkp/qtkp: force oracle evaluation through circuit replay (disables the semantic fast path; same results, slower)")
 
 		timeout    = flag.Duration("timeout", 0, "cancel the solve after this duration (0 = none); the best solution so far is still printed")
 		traceOut   = flag.String("trace-out", "", "write the deterministic span/event trace as JSONL to this file ('-' = stdout)")
@@ -96,6 +99,10 @@ func run() error {
 		exectrace  = flag.String("exectrace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	stopProfiles, err := obsio.StartProfiles(*cpuprofile, *memprofile, *exectrace)
 	if err != nil {
@@ -215,7 +222,7 @@ func run() error {
 		}
 		fmt.Printf("solution: size %d, set %v (%d nodes expanded)\n", res.Size, oneBased(res.Set), res.Nodes)
 	case "bb":
-		res, err := kplex.BB(g, *k)
+		res, err := kplex.BBOpt(g, *k, kplex.BBOptions{Obs: sink.Obs, DisableKernel: *nokernel})
 		if err != nil {
 			return err
 		}

@@ -117,6 +117,24 @@ func (v *Vector) AndCount(o *Vector) int {
 	return c
 }
 
+// Intersects reports whether v and o share any set position — AndCount > 0
+// without the full count: the scan stops at the first overlapping word. The
+// lengths must match. This is the early-exit kernel behind the
+// branch-and-bound saturated-member feasibility probe, where almost every
+// probe against a sparse saturation vector answers "no overlap" and the
+// remainder answer at the first word.
+func (v *Vector) Intersects(o *Vector) bool {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: Intersects length mismatch %d != %d", v.n, o.n))
+	}
+	for i, w := range v.words {
+		if w&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // checkLen panics unless o has the same length as v; op names the caller
 // in the message.
 func (v *Vector) checkLen(o *Vector, op string) {

@@ -224,6 +224,37 @@ func TestAndCountLengthMismatchPanics(t *testing.T) {
 	New(10).AndCount(New(11))
 }
 
+func TestIntersectsAgainstAndCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		a, b := New(n), New(n)
+		// Sparse fills so disjoint pairs actually occur.
+		for i := 0; i < n; i++ {
+			a.Set(i, rng.Intn(8) == 0)
+			b.Set(i, rng.Intn(8) == 0)
+		}
+		if got, want := a.Intersects(b), a.AndCount(b) > 0; got != want {
+			t.Fatalf("n=%d: Intersects=%v, AndCount>0 says %v", n, got, want)
+		}
+		if a.Intersects(b) != b.Intersects(a) {
+			t.Fatalf("n=%d: Intersects not symmetric", n)
+		}
+	}
+	if New(70).Intersects(New(70)) {
+		t.Error("two zero vectors intersect")
+	}
+}
+
+func TestIntersectsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intersects length mismatch did not panic")
+		}
+	}()
+	New(10).Intersects(New(11))
+}
+
 // randomPair returns two random vectors of length n plus their []bool
 // models, for word-kernel cross-checks.
 func randomPair(n int, rng *rand.Rand) (a, b *Vector, ma, mb []bool) {

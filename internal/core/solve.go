@@ -197,6 +197,12 @@ func SolveMKP(ctx context.Context, g *graph.Graph, spec Spec) (MKPResult, error)
 			mx.Add("core.qmkp.oracle_calls", int64(out.OracleCalls))
 			mx.Add("core.qmkp.gates", out.Gates)
 			mx.SetGauge("core.qmkp.error_probability", missProb)
+			if lz, ok := tab.(*fastoracle.Lazy); ok {
+				// The lazy store answers by deterministic search; surface
+				// its cumulative tree size under the same counter the
+				// exact classical path (kplex.BBOpt) reports.
+				mx.Add("fastoracle.bb.nodes", lz.SearchNodes())
+			}
 		}
 		if root != nil {
 			root.End(obs.Int("size", out.Size), obs.Int("probes", len(out.Progress)))

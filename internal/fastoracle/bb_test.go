@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 // bruteMax sweeps all 2^n masks for the maximum k-plex size — the ground
@@ -125,4 +126,185 @@ func TestBranchBoundMultiWord(t *testing.T) {
 			t.Fatalf("vertex %d extends the reported maximum", v)
 		}
 	}
+}
+
+// The parallel-mode determinism contract: Size, Set and Nodes are
+// bit-identical at REPRO_WORKERS = 1, 2 and 8 — the wave schedule and the
+// per-wave frozen incumbent depend only on the instance and branch order,
+// never on which worker runs a subtree task.
+func TestBranchBoundWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 6; trial++ {
+		n := 30 + rng.Intn(70)
+		g := graph.Gnm(n, n*(2+rng.Intn(4)), rng.Int63())
+		k := 1 + rng.Intn(3)
+		e, err := New(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var base BBResult
+		for i, w := range []int{1, 2, 8} {
+			prev := parallel.SetWorkers(w)
+			res := e.BranchBound(nil)
+			parallel.SetWorkers(prev)
+			if i == 0 {
+				base = res
+				continue
+			}
+			if res.Size != base.Size || res.Nodes != base.Nodes || len(res.Set) != len(base.Set) {
+				t.Fatalf("n=%d k=%d: workers=%d diverged: %+v vs %+v", n, k, w, res, base)
+			}
+			for j := range res.Set {
+				if res.Set[j] != base.Set[j] {
+					t.Fatalf("n=%d k=%d: workers=%d returned set %v, workers=1 returned %v",
+						n, k, w, res.Set, base.Set)
+				}
+			}
+		}
+	}
+}
+
+// A MinSize floor prunes like an incumbent but is never reported as a
+// witness: below-floor instances come back with the floor size and an
+// empty set, above-floor instances report the true optimum.
+func TestBranchBoundMinSize(t *testing.T) {
+	g := graph.Gnm(20, 60, 3)
+	e, err := New(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := e.BranchBound(nil)
+	// Floor below the optimum: same answer, no more nodes than unfloored.
+	under := e.BranchBoundOpt(BBOptions{MinSize: opt.Size - 1})
+	if under.Size != opt.Size || !g.IsKPlex(under.Set, 2) {
+		t.Fatalf("floor %d changed the answer: %+v vs %+v", opt.Size-1, under, opt)
+	}
+	if under.Nodes > opt.Nodes {
+		t.Fatalf("floor pruned less than no floor: %d > %d nodes", under.Nodes, opt.Nodes)
+	}
+	// Floor at the optimum: nothing strictly better exists, empty witness.
+	at := e.BranchBoundOpt(BBOptions{MinSize: opt.Size})
+	if at.Size != opt.Size || len(at.Set) != 0 {
+		t.Fatalf("floor at the optimum should report (size=%d, empty set), got %+v", opt.Size, at)
+	}
+}
+
+// An explicit branch order must not change the answer (only the cost),
+// and a non-permutation must be rejected loudly.
+func TestBranchBoundOrderOption(t *testing.T) {
+	g := graph.Gnm(24, 90, 5)
+	e, err := New(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e.BranchBound(nil).Size
+	rev := make([]int, 24)
+	for i := range rev {
+		rev[i] = 23 - i
+	}
+	if got := e.BranchBoundOpt(BBOptions{Order: rev}).Size; got != want {
+		t.Fatalf("reversed order changed the answer: %d, want %d", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-permutation Order did not panic")
+		}
+	}()
+	e.BranchBoundOpt(BBOptions{Order: []int{0, 0, 1}})
+}
+
+// referenceFeasible is the pre-rewrite O(|P|) feasibility probe — a scan
+// of the member list against each member's saturation — kept here as the
+// semantic model for the incrementally maintained saturated-member
+// bitvec, and as the baseline of the benchmark pair below.
+func referenceFeasible(b *bbState, v int) bool {
+	if b.cdeg[v] > b.e.k-1 {
+		return false
+	}
+	for _, u := range b.pList {
+		if b.cdeg[u] == b.e.k-1 && b.e.compVec[u].Get(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// The incremental saturation vector must answer every probe exactly like
+// the member-list rescan, at every prefix of a growing plex.
+func TestFeasibleMatchesReferenceScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(50)
+		g := graph.Gnm(n, n*2, rng.Int63())
+		k := 1 + rng.Intn(3)
+		e, err := New(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := newBBState(e)
+		for step := 0; step < n; step++ {
+			for v := 0; v < n; v++ {
+				if b.inP.Get(v) {
+					continue
+				}
+				if got, want := b.feasible(v), referenceFeasible(b, v); got != want {
+					t.Fatalf("n=%d k=%d |P|=%d v=%d: bitvec says %v, reference scan says %v",
+						n, k, len(b.pList), v, got, want)
+				}
+			}
+			grew := false
+			for v := 0; v < n; v++ {
+				if !b.inP.Get(v) && b.feasible(v) {
+					b.add(v)
+					grew = true
+					break
+				}
+			}
+			if !grew {
+				break
+			}
+		}
+	}
+}
+
+// The satellite micro-fix benchmark pair (serial path, independent of the
+// parallel mode): probe feasibility for every vertex against a grown
+// plex, via the old member-list rescan vs the saturated-member bitvec.
+// benchjson pairs the reference/bitset variants into a speedup entry.
+func BenchmarkBBFeasible(b *testing.B) {
+	g := graph.Gnm(96, 380, 21)
+	e, err := New(g, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := newBBState(e)
+	// Grow a maximal plex so the member list (and its saturated subset)
+	// is as large as the instance allows.
+	for {
+		grew := false
+		for v := 0; v < e.n; v++ {
+			if !st.inP.Get(v) && st.feasible(v) {
+				st.add(v)
+				grew = true
+				break
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < e.n; v++ {
+				referenceFeasible(st, v)
+			}
+		}
+	})
+	b.Run("bitset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < e.n; v++ {
+				st.feasible(v)
+			}
+		}
+	})
 }

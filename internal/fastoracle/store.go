@@ -3,6 +3,7 @@ package fastoracle
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/obs"
@@ -78,6 +79,11 @@ type Lazy struct {
 	e       *Evaluator
 	maxOnce sync.Once
 	maxSize int
+	// nodes accumulates the search-tree nodes every lazy answer cost
+	// (BranchBound waves plus counting DFS). Each contribution is itself
+	// deterministic, so the running total is bit-identical at any worker
+	// count — core attributes it to the fastoracle.bb.nodes counter.
+	nodes atomic.Int64
 }
 
 // N returns the vertex count the store was built for.
@@ -122,18 +128,21 @@ func (l *Lazy) CountAtLeast(T int) int {
 	if T > l.e.n {
 		return 0
 	}
-	s := &bbState{e: l.e, cdeg: make([]int, l.e.n)}
+	s := newBBState(l.e)
 	cand := make([]int, l.e.n)
 	for i := range cand {
 		cand[i] = i
 	}
-	return s.countAtLeast(cand, T)
+	c := s.countAtLeast(cand, T)
+	l.nodes.Add(s.nodes)
+	return c
 }
 
 // countAtLeast counts the k-plexes S with P ⊆ S ⊆ P ∪ cand and |S| ≥ T.
 // Each loop iteration roots the subtree of plexes whose smallest member
 // beyond P (in candidate order) is feas[i].
 func (b *bbState) countAtLeast(cand []int, T int) int {
+	b.nodes++
 	c := 0
 	if len(b.pList) >= T {
 		c = 1
@@ -142,6 +151,7 @@ func (b *bbState) countAtLeast(cand []int, T int) int {
 	if len(b.pList)+len(feas) < T {
 		return c
 	}
+	b.depth++
 	for i, v := range feas {
 		if len(b.pList)+1+len(feas)-i-1 < T {
 			break // even taking every remaining candidate cannot reach T
@@ -150,12 +160,22 @@ func (b *bbState) countAtLeast(cand []int, T int) int {
 		c += b.countAtLeast(feas[i+1:], T)
 		b.remove(v)
 	}
+	b.depth--
 	return c
 }
 
 // MaxPlexSize returns the largest k-plex size, computed once via
 // BranchBound and cached for subsequent calls.
 func (l *Lazy) MaxPlexSize() int {
-	l.maxOnce.Do(func() { l.maxSize = l.e.BranchBound(nil).Size })
+	l.maxOnce.Do(func() {
+		res := l.e.BranchBound(nil)
+		l.maxSize = res.Size
+		l.nodes.Add(res.Nodes)
+	})
 	return l.maxSize
 }
+
+// SearchNodes reports the cumulative deterministic search cost behind the
+// answers served so far — what core attributes to the fastoracle.bb.nodes
+// counter.
+func (l *Lazy) SearchNodes() int64 { return l.nodes.Load() }

@@ -107,3 +107,100 @@ func TestGnm100BranchBoundMatchesMILP(t *testing.T) {
 		}
 	}
 }
+
+// loadInstance loads a checked-in DIMACS instance and asserts its shape.
+func loadInstance(t *testing.T, name string, wantN, wantM int) *graph.Graph {
+	t.Helper()
+	g, err := graph.ReadFile("../graph/testdata/" + name)
+	if err != nil {
+		t.Fatalf("loading checked-in instance: %v", err)
+	}
+	if g.N() != wantN || g.M() != wantM {
+		t.Fatalf("instance is %v, want graph(n=%d,m=%d)", g, wantN, wantM)
+	}
+	return g
+}
+
+// The kernelize-then-search instances: gnm200 (uniform sparse, twice past
+// the mask wall) and planted150 (ten dense communities in sparse noise —
+// the peeling showcase: at k=3 the greedy bound plus degree peeling prove
+// optimality without expanding a single branch node). Sizes were
+// established by the kernel pipeline and the kernel-disabled raw search
+// independently (TestBBKernelMatchesRaw covers the mechanism) and are
+// locked as regression values.
+func TestCheckedInInstancesSolveExactly(t *testing.T) {
+	for _, tc := range []struct {
+		file     string
+		n, m     int
+		wantSize map[int]int
+	}{
+		{"gnm200.clq", 200, 800, map[int]int{1: 4, 2: 5, 3: 5}},
+		{"planted150.clq", 150, 930, map[int]int{1: 8, 2: 9, 3: 12}},
+	} {
+		g := loadInstance(t, tc.file, tc.n, tc.m)
+		for k := 1; k <= 3; k++ {
+			res, err := kplex.BB(g, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", tc.file, k, err)
+			}
+			if res.Size != tc.wantSize[k] {
+				t.Errorf("%s k=%d: BB size %d, want %d", tc.file, k, res.Size, tc.wantSize[k])
+			}
+			if !g.IsKPlex(res.Set, k) || len(res.Set) != res.Size {
+				t.Errorf("%s k=%d: invalid witness %v", tc.file, k, res.Set)
+			}
+			raw, err := kplex.BBOpt(g, k, kplex.BBOptions{DisableKernel: true})
+			if err != nil {
+				t.Fatalf("%s k=%d: raw: %v", tc.file, k, err)
+			}
+			if raw.Size != res.Size {
+				t.Errorf("%s k=%d: kernel pipeline %d != raw search %d", tc.file, k, res.Size, raw.Size)
+			}
+		}
+	}
+}
+
+// MILP cross-check on induced subgraphs of the new instances — same
+// protocol as TestGnm100BranchBoundMatchesMILP (and the same 5–6 vertex
+// ceiling; sparse subgraphs stall the MILP beyond that).
+func TestCheckedInInstancesMatchMILP(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, tc := range []struct {
+		file string
+		n, m int
+	}{
+		{"gnm200.clq", 200, 800},
+		{"planted150.clq", 150, 930},
+	} {
+		g := loadInstance(t, tc.file, tc.n, tc.m)
+		for trial := 0; trial < 3; trial++ {
+			size := 5 + rng.Intn(2)
+			perm := rng.Perm(g.N())[:size]
+			sub, _ := g.InducedSubgraph(perm)
+			k := 1 + rng.Intn(3)
+			res, err := kplex.BB(sub, k)
+			if err != nil {
+				t.Fatalf("%s trial %d: BB: %v", tc.file, trial, err)
+			}
+			enc, err := qubo.FormulateMKP(sub, k, 2)
+			if err != nil {
+				t.Fatalf("%s trial %d: formulate: %v", tc.file, trial, err)
+			}
+			milpRes, err := milp.Solve(enc.Model.Linearize(), milp.Options{})
+			if err != nil {
+				t.Fatalf("%s trial %d: milp: %v", tc.file, trial, err)
+			}
+			if !milpRes.Optimal {
+				t.Fatalf("%s trial %d: MILP did not prove optimality", tc.file, trial)
+			}
+			set, valid := enc.DecodeValid(milpRes.X)
+			if !valid {
+				t.Fatalf("%s trial %d: MILP optimum decodes invalid", tc.file, trial)
+			}
+			if len(set) != res.Size {
+				t.Errorf("%s trial %d (n=%d k=%d): BB says %d, MILP says %d",
+					tc.file, trial, size, k, res.Size, len(set))
+			}
+		}
+	}
+}

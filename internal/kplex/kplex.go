@@ -12,6 +12,8 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/fastoracle"
 	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/reduce"
 )
 
 // Result is the outcome of an exact search.
@@ -183,12 +185,33 @@ func (st *bsState) search(cand []int) {
 	st.search(rest)
 }
 
-// BB finds a maximum k-plex with the deterministic multi-word
-// branch-and-bound over packed complement rows
-// (fastoracle.BranchBound): the exact classical engine past the
-// one-word mask wall — any vertex count — seeded with the greedy
-// incumbent so pruning bites from the first node.
+// BBOptions tunes the exact BB pipeline. The zero value is BB's
+// behaviour: kernelization on, no observability.
+type BBOptions struct {
+	// Obs carries the observability subsystem: a kplex.bb span over the
+	// solve, reduce.peeled / reduce.kernel_n / fastoracle.bb.nodes
+	// counters attributing the kernelization and search work. The zero
+	// value is inert.
+	Obs obs.Obs
+	// DisableKernel skips the reduction pass and runs branch-and-bound on
+	// the raw graph — the A/B baseline for the kernel-shrink benchmarks
+	// and the differential tests. Same answers, more nodes.
+	DisableKernel bool
+}
+
+// BB finds a maximum k-plex with the kernelize-then-search pipeline:
+// greedy lower bound, iterated degree peeling against it, per-component
+// deterministic wave-parallel branch-and-bound over the kernel's
+// degeneracy order (fastoracle.BranchBoundOpt), answers lifted back to
+// original vertex ids. Works at any vertex count — the engine needs no
+// mask encoding. Nodes is the summed deterministic search cost, identical
+// at any worker count.
 func BB(g *graph.Graph, k int) (Result, error) {
+	return BBOpt(g, k, BBOptions{})
+}
+
+// BBOpt is BB with options. See BBOptions.
+func BBOpt(g *graph.Graph, k int, opt BBOptions) (Result, error) {
 	if k < 1 {
 		return Result{}, fmt.Errorf("kplex: k=%d must be ≥ 1", k)
 	}
@@ -200,12 +223,97 @@ func BB(g *graph.Graph, k int) (Result, error) {
 	if kEff > n {
 		kEff = n
 	}
-	e, err := fastoracle.New(g, kEff)
-	if err != nil {
-		return Result{}, fmt.Errorf("kplex: %w", err)
+	mx := opt.Obs.Metrics
+	sp := opt.Obs.Trace.Start("kplex.bb",
+		obs.Int("n", n), obs.Int("k", kEff), obs.Bool("kernel", !opt.DisableKernel))
+	lb := Greedy(g, kEff)
+	best := append([]int(nil), lb...)
+	nodes := int64(1)
+	if opt.DisableKernel {
+		e, err := fastoracle.New(g, kEff)
+		if err != nil {
+			sp.End()
+			return Result{}, fmt.Errorf("kplex: %w", err)
+		}
+		res := e.BranchBoundOpt(fastoracle.BBOptions{Seed: lb})
+		nodes += res.Nodes
+		if res.Size > len(best) {
+			best = res.Set
+		}
+	} else {
+		kern := reduce.Kernelize(g, kEff, len(lb))
+		mx.Add("reduce.peeled", int64(kern.Stats.Peeled))
+		mx.Add("reduce.kernel_n", int64(kern.Stats.N))
+		sp.Event("kplex.bb.kernel", obs.Int("kernel_n", kern.Stats.N),
+			obs.Int("peeled", kern.Stats.Peeled), obs.Int("components", kern.Stats.Components),
+			obs.Int("degeneracy", kern.Stats.Degeneracy), obs.Int("lb", len(lb)))
+		// A k-plex of size ≥ 2k-1 is connected, so components may be
+		// searched independently exactly when every improvement over the
+		// bound is that large; otherwise a disconnected optimum could
+		// straddle components and the kernel must be searched whole.
+		var parts [][]int
+		if len(lb)+1 >= 2*kEff-1 {
+			parts = kern.Comps
+		} else if kern.Sub.N() > 0 {
+			all := make([]int, kern.Sub.N())
+			for i := range all {
+				all[i] = i
+			}
+			parts = [][]int{all}
+		}
+		for _, comp := range parts {
+			// A part can only improve on the incumbent if it is larger.
+			if len(comp) <= len(best) {
+				continue
+			}
+			sub, ids := kern.Sub.InducedSubgraph(comp)
+			kSub := kEff
+			if kSub > sub.N() {
+				kSub = sub.N()
+			}
+			e, err := fastoracle.New(sub, kSub)
+			if err != nil {
+				sp.End()
+				return Result{}, fmt.Errorf("kplex: %w", err)
+			}
+			res := e.BranchBoundOpt(fastoracle.BBOptions{
+				MinSize: len(best),
+				Order:   restrictOrder(kern.Order, ids),
+			})
+			nodes += res.Nodes
+			if res.Size > len(best) {
+				// Lift sub ids → kernel ids → original ids.
+				lifted := make([]int, len(res.Set))
+				for i, v := range res.Set {
+					lifted[i] = kern.Map[ids[v]]
+				}
+				best = lifted
+			}
+		}
 	}
-	res := e.BranchBound(Greedy(g, kEff))
-	return Result{Set: res.Set, Size: res.Size, Nodes: res.Nodes}, nil
+	mx.Add("fastoracle.bb.nodes", nodes)
+	sort.Ints(best)
+	sp.End(obs.Int("size", len(best)), obs.Int64("nodes", nodes))
+	return Result{Set: best, Size: len(best), Nodes: nodes}, nil
+}
+
+// restrictOrder projects a degeneracy order of the kernel onto one
+// component's induced subgraph: keep the component's vertices in their
+// global removal order, renamed to subgraph ids. Components do not
+// interact during minimum-degree removal, so the restriction is itself a
+// degeneracy order of the component.
+func restrictOrder(order []int, ids []int) []int {
+	local := make(map[int]int, len(ids))
+	for i, v := range ids {
+		local[v] = i
+	}
+	out := make([]int, 0, len(ids))
+	for _, v := range order {
+		if i, ok := local[v]; ok {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // MaxKPlex is the production entry point: it computes a greedy lower

@@ -1,0 +1,206 @@
+// Package reduce is the kernelization pass in front of the exact
+// classical k-plex solver: shrink the instance with safe reduction rules
+// before branch-and-bound sees it, and hand the search the structural
+// orderings the rules produce along the way.
+//
+// Three deterministic steps:
+//
+//   - iterated degree peeling: with a certified lower bound lb in hand the
+//     search only needs k-plexes of size ≥ lb+1, and every vertex of such
+//     a plex has degree ≥ lb+1-k inside it, hence in G. Vertices below
+//     the threshold are removed and the rule re-applied until a fixed
+//     point — the (lb+1-k)-core.
+//   - connected-component decomposition: a k-plex of size s ≥ 2k-1 is
+//     connected (a split part would leave some member with too few
+//     neighbours), so when lb+1 ≥ 2k-1 each component can be searched
+//     independently against the shared bound. Kernel.Comps lists the
+//     components; the solver decides whether the bound licenses using
+//     them.
+//   - degeneracy ordering: repeated minimum-degree removal (ties by
+//     index) yields the order branch-and-bound branches over and the
+//     per-vertex core numbers. Low-core vertices root small subtrees that
+//     prune immediately; the dense residue is searched last, when the
+//     incumbent is already strong.
+//
+// This is the classical mirror of the paper's pre-quantum reduction: the
+// ICDE paper integrates core–truss co-pruning (graph.CoTrussPrune) to fit
+// instances onto simulators, and notes the algorithms are orthogonal to
+// any reduction that preserves some maximum k-plex. Kernelize preserves
+// every k-plex of size ≥ lb+1, which is exactly what the bounded search
+// consumes.
+package reduce
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Stats records what a Kernelize pass did, for observability and the
+// experiment tables.
+type Stats struct {
+	N0, M0     int // original vertex / edge count
+	N, M       int // kernel vertex / edge count
+	LB         int // the certified lower bound the peel targeted (size ≥ LB+1)
+	Peeled     int // vertices removed by iterated degree peeling
+	Rounds     int // peeling sweeps until the fixed point (≥ 1)
+	Components int // connected components of the kernel
+	Degeneracy int // degeneracy of the kernel (max core number, 0 when empty)
+}
+
+// Kernel is the outcome of a Kernelize pass: the peeled graph, the map
+// back to original vertex ids, and the structural orderings the solver
+// branches over. All fields are deterministic functions of (g, k, lb).
+type Kernel struct {
+	Sub   *graph.Graph // peeled graph, re-indexed to [0, Stats.N)
+	Map   []int        // Map[i] = original id of kernel vertex i (ascending)
+	Order []int        // degeneracy order of Sub (kernel ids, removal order)
+	Core  []int        // Core[v] = core number of kernel vertex v
+	Comps [][]int      // connected components of Sub (kernel ids, each sorted, ordered by smallest member)
+	Stats Stats
+}
+
+// Kernelize shrinks g for a maximum k-plex search that already holds a
+// certified lower bound lb (a witness of size lb exists — e.g. the greedy
+// solution): any k-plex of size ≥ lb+1 survives in Sub, so solving Sub
+// and comparing against lb solves g. k must be ≥ 1 and lb ≥ 0; vertices
+// are peeled while their current degree is below lb+1-k.
+func Kernelize(g *graph.Graph, k, lb int) Kernel {
+	if k < 1 {
+		panic(fmt.Sprintf("reduce: k=%d must be ≥ 1", k))
+	}
+	if lb < 0 {
+		panic(fmt.Sprintf("reduce: lower bound %d must be ≥ 0", lb))
+	}
+	n := g.N()
+	st := Stats{N0: n, M0: g.M(), LB: lb}
+	alive := make([]bool, n)
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		deg[v] = g.Degree(v)
+	}
+	// Iterated peeling: sweep in index order until a sweep removes
+	// nothing. The fixed point (the (lb+1-k)-core) is unique whatever the
+	// removal order, and index-order sweeps make Rounds deterministic too.
+	threshold := lb + 1 - k
+	st.Rounds = 1
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			if !alive[v] || deg[v] >= threshold {
+				continue
+			}
+			alive[v] = false
+			st.Peeled++
+			changed = true
+			for _, u := range g.Neighbors(v) {
+				if alive[u] {
+					deg[u]--
+				}
+			}
+		}
+		if changed {
+			st.Rounds++
+		}
+	}
+	keep := make([]int, 0, n-st.Peeled)
+	for v := 0; v < n; v++ {
+		if alive[v] {
+			keep = append(keep, v)
+		}
+	}
+	sub, ids := g.InducedSubgraph(keep)
+	kern := Kernel{Sub: sub, Map: ids}
+	kern.Order, kern.Core = DegeneracyOrder(sub)
+	kern.Comps = Components(sub)
+	st.N, st.M = sub.N(), sub.M()
+	st.Components = len(kern.Comps)
+	for _, c := range kern.Core {
+		if c > st.Degeneracy {
+			st.Degeneracy = c
+		}
+	}
+	kern.Stats = st
+	return kern
+}
+
+// LiftSet maps a vertex set of the kernel back to original ids. The
+// result is a fresh slice in the kernel set's order.
+func (kn Kernel) LiftSet(set []int) []int {
+	out := make([]int, len(set))
+	for i, v := range set {
+		out[i] = kn.Map[v]
+	}
+	return out
+}
+
+// DegeneracyOrder returns the minimum-degree removal order of g (ties
+// broken by lowest index) and the per-vertex core numbers: core[v] is the
+// largest c such that v survives in the c-core. The order is what the
+// branch-and-bound branches over — order[i]'s candidates are exactly the
+// later positions — and max(core) is the degeneracy of g.
+func DegeneracyOrder(g *graph.Graph) (order, core []int) {
+	n := g.N()
+	order = make([]int, 0, n)
+	core = make([]int, n)
+	removed := make([]bool, n)
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	running := 0 // max min-degree seen so far = core number of the next removal
+	for len(order) < n {
+		u := -1
+		for v := 0; v < n; v++ {
+			if !removed[v] && (u < 0 || deg[v] < deg[u]) {
+				u = v
+			}
+		}
+		if deg[u] > running {
+			running = deg[u]
+		}
+		core[u] = running
+		removed[u] = true
+		order = append(order, u)
+		for _, w := range g.Neighbors(u) {
+			if !removed[w] {
+				deg[w]--
+			}
+		}
+	}
+	return order, core
+}
+
+// Components returns the connected components of g as sorted vertex
+// lists, ordered by smallest member — a deterministic partition for the
+// per-component searches.
+func Components(g *graph.Graph) [][]int {
+	n := g.N()
+	seen := make([]bool, n)
+	var comps [][]int
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = append(queue[:0], s)
+		comp := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+					comp = append(comp, u)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
