@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt-check vet lint lint-json lint-sarif lint-baseline vulncheck test race race-bb bench-smoke bench-json obs-smoke fuzz-smoke ci
+.PHONY: build fmt-check vet lint lint-json lint-sarif lint-baseline lint-concurrency vulncheck test race race-bb bench-smoke bench-json obs-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -21,10 +21,12 @@ vet:
 
 # The repo's own analyzers (see internal/analysis): panic prefixes,
 # seeded randomness, float comparisons, dropped module errors, map
-# iteration order, pool-only concurrency, wall-clock isolation, plus the
-# cross-package module passes (oracle purity, ctx propagation, one-word
-# mask inventory, sentinel chaining over the call graph, stale
-# //lint:allow audit). Findings in LINT_BASELINE.json are accepted and
+# iteration order, goroutine-closure captures, wall-clock isolation,
+# plus the cross-package module passes (oracle purity, ctx propagation,
+# one-word mask inventory, sentinel chaining over the call graph, the
+# CONC_POLICY.json concurrency gate with its goroutine-leak and
+# lock-discipline contracts, stale //lint:allow audit). Findings in
+# LINT_BASELINE.json are accepted and
 # non-fatal; only new findings fail. Type-check errors fail the run;
 # -lenient degrades them to warnings.
 lint:
@@ -48,6 +50,15 @@ lint-sarif:
 # multi-word bitsets); TestSelfClean pins the ledger to reality.
 lint-baseline:
 	$(GO) run ./cmd/repro-lint -write-baseline
+
+# The concurrency gate in isolation: the unit + fixture + seeded-bug
+# tests of concpolicy/goleak/lockcheck/sharedcap (including the
+# CONC_POLICY.json pinning test), then the full lint run over the real
+# tree, which must come back clean under the policy.
+lint-concurrency:
+	$(GO) test ./internal/analysis/ -count=1 \
+		-run 'ConcPolicy|GoLeak|LockCheck|SharedCap|ConcurrencyPolicy|ConcurrencyLedger'
+	$(GO) run ./cmd/repro-lint ./...
 
 # Known-vulnerability scan (network: downloads the vuln DB and the
 # govulncheck tool itself, so it runs as a separate CI job, not in the
@@ -116,4 +127,4 @@ fuzz-smoke:
 	$(GO) test ./internal/graph/ -fuzz FuzzGraphRead -fuzztime 5s
 	$(GO) test ./internal/oracle/ -run FuzzFastOracle -fuzz FuzzFastOracle -fuzztime 5s
 
-ci: build fmt-check vet lint test race race-bb bench-smoke obs-smoke
+ci: build fmt-check vet lint lint-concurrency test race race-bb bench-smoke obs-smoke

@@ -222,8 +222,13 @@ func run() error {
 		}
 		fmt.Printf("solution: size %d, set %v (%d nodes expanded)\n", res.Size, oneBased(res.Set), res.Nodes)
 	case "bb":
-		res, err := kplex.BBOpt(g, *k, kplex.BBOptions{Obs: sink.Obs, DisableKernel: *nokernel})
-		if err != nil {
+		res, err := kplex.BBOpt(ctx, g, *k, kplex.BBOptions{Obs: sink.Obs, DisableKernel: *nokernel})
+		switch {
+		case errors.Is(err, kplex.ErrCanceled):
+			fmt.Printf("canceled: best size so far %d, set %v (%d nodes expanded)\n",
+				res.Size, oneBased(res.Set), res.Nodes)
+			return fmt.Errorf("%w (bb): %w", core.ErrCanceled, err)
+		case err != nil:
 			return err
 		}
 		fmt.Printf("solution: size %d, set %v (%d nodes expanded)\n", res.Size, oneBased(res.Set), res.Nodes)

@@ -26,6 +26,7 @@
 //	repro-lint -sarif out.sarif      # SARIF 2.1.0 document
 //	repro-lint -baseline none        # ignore the checked-in baseline
 //	repro-lint -write-baseline       # accept the current findings
+//	repro-lint -concpolicy p.json    # alternate concurrency policy
 //	repro-lint -list                 # describe the analyzers
 package main
 
@@ -49,14 +50,24 @@ func main() {
 		sarifOut = flag.String("sarif", "", "write a SARIF 2.1.0 document to this file (\"-\" for stdout)")
 		baseFlag = flag.String("baseline", "auto", "accepted-findings ledger: a path, \"auto\" (module-root LINT_BASELINE.json when present), or \"none\"")
 		writeBas = flag.Bool("write-baseline", false, "regenerate the baseline from the current findings and exit")
+		polFlag  = flag.String("concpolicy", "", "concurrency policy file for concpolicy/goleak/lockcheck (default: the policy compiled into the analyzers, pinned to CONC_POLICY.json by test)")
 	)
 	flag.Parse()
+
+	moduleSuite := analysis.AllModule()
+	if *polFlag != "" {
+		policy, err := analysis.LoadConcurrencyPolicy(*polFlag)
+		if err != nil {
+			fatal(err)
+		}
+		moduleSuite = analysis.AllModuleWithPolicy(policy)
+	}
 
 	if *list {
 		for _, a := range analysis.All() {
 			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
 		}
-		for _, a := range analysis.AllModule() {
+		for _, a := range moduleSuite {
 			fmt.Printf("%-12s %s (module pass)\n", a.Name(), a.Doc())
 		}
 		return
@@ -82,7 +93,7 @@ func main() {
 		}
 	}
 
-	diags := analysis.RunAll(pkgs, analysis.All(), analysis.AllModule())
+	diags := analysis.RunAll(pkgs, analysis.All(), moduleSuite)
 	for i := range diags {
 		if rel, err := filepath.Rel(".", diags[i].Pos.Filename); err == nil {
 			diags[i].Pos.Filename = rel

@@ -3,8 +3,10 @@
 // the custom analyzers that encode this codebase's conventions — panic
 // message prefixes, injected seeded randomness, no exact float
 // comparisons in the numeric packages, no silently dropped module errors,
-// and the determinism contracts of DESIGN.md §5–§7 (map iteration order,
-// worker-pool-only concurrency, wall-clock isolation, oracle purity).
+// the determinism contracts of DESIGN.md §5–§7 (map iteration order,
+// wall-clock isolation, oracle purity), and the concurrency contracts of
+// DESIGN.md §13 (policy-blessed primitives, goroutine join paths, lock
+// discipline, closure captures).
 // cmd/repro-lint is the command-line driver; the analyzers are also
 // exercised by fixture tests under testdata/src.
 //
@@ -133,20 +135,30 @@ func All() []Analyzer {
 		FloatCmp{},
 		ErrRet{},
 		MapOrder{},
-		RawGo{},
+		SharedCap{},
 		WallTime{},
 	}
 }
 
-// AllModule returns the module-level analyzer suite. AllowAudit must run
-// last: it reports //lint:allow directives left unused by everything
-// before it.
+// AllModule returns the module-level analyzer suite wired to the
+// checked-in concurrency policy. AllowAudit must run last: it reports
+// //lint:allow directives left unused by everything before it.
 func AllModule() []ModuleAnalyzer {
+	return AllModuleWithPolicy(DefaultConcurrencyPolicy())
+}
+
+// AllModuleWithPolicy is AllModule with the concurrency-contract
+// analyzers (concpolicy, goleak, lockcheck) wired to an explicit policy
+// — cmd/repro-lint's -concpolicy flag loads one from disk.
+func AllModuleWithPolicy(p *ConcurrencyPolicy) []ModuleAnalyzer {
 	return []ModuleAnalyzer{
 		DefaultPurity(),
 		DefaultCtxFlow(),
 		DefaultMaskWidth(),
 		DefaultErrWrap(),
+		ConcPolicy{Policy: p},
+		GoLeak{Policy: p},
+		LockCheck{Policy: p},
 		AllowAudit{},
 	}
 }

@@ -117,8 +117,8 @@ func TestMapOrder(t *testing.T) {
 	checkFixture(t, MapOrder{}, "fixture/mapfix")
 }
 
-func TestRawGo(t *testing.T) {
-	checkFixture(t, RawGo{}, "fixture/rawfix")
+func TestSharedCap(t *testing.T) {
+	checkFixture(t, SharedCap{}, "fixture/capfix")
 }
 
 func TestWallTime(t *testing.T) {

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// GoLeak enforces the join-or-cancel contract on every go statement in a
+// policy-blessed package: somewhere on the spawn path there must be a
+// statically visible join or cancel point — a .Wait() call (WaitGroup or
+// an errgroup-style collector), a channel receive (which covers both
+// result collection and <-ctx.Done() select arms), or a range over a
+// channel. Fire-and-forget goroutines outlive the pool's lifecycle and
+// turn the leak-poll tests' clean baseline into noise.
+//
+// The contract composes across functions via the "spawns" facts the
+// per-package pass exports: a helper that spawns without joining is fine
+// exactly when every caller joins; a caller that neither joins nor is
+// itself awaited inherits the escape, and the leak is reported once at
+// the origin go statement, attributed to the outermost non-joining
+// caller.
+type GoLeak struct {
+	Policy *ConcurrencyPolicy
+}
+
+// DefaultGoLeak returns the analyzer wired to the checked-in policy.
+func DefaultGoLeak() GoLeak {
+	return GoLeak{Policy: DefaultConcurrencyPolicy()}
+}
+
+// Name implements ModuleAnalyzer.
+func (GoLeak) Name() string { return "goleak" }
+
+// Doc implements ModuleAnalyzer.
+func (GoLeak) Doc() string {
+	return "every go statement in a policy-blessed package needs a statically visible join or cancel path (WaitGroup.Wait, channel receive, <-ctx.Done()); fire-and-forget spawns are flagged through helpers too"
+}
+
+// ExportFacts implements FactExporter.
+func (GoLeak) ExportFacts(pkg *Package, facts *FactStore) {
+	exportConcFacts(pkg, facts)
+}
+
+// CheckModule implements ModuleAnalyzer.
+func (a GoLeak) CheckModule(m *Module) []Diagnostic {
+	type leak struct {
+		origin   Fact   // first spawn fact of the escaping function
+		originFn string // "pkg.Func" whose body holds the go statement
+	}
+	leaky := make(map[*CallNode]*leak)
+	joins := make(map[*CallNode]bool)
+	incoming := make(map[*CallNode]int)
+
+	m.Graph.Walk(func(node *CallNode) {
+		joins[node] = bodyJoins(node.Decl.Body)
+		for _, e := range node.Calls {
+			if cn := m.Graph.Nodes[e.Callee]; cn != nil && cn != node {
+				incoming[cn]++
+			}
+		}
+		if joins[node] || !a.Policy.Allows(node.Pkg.Path, "go") {
+			return
+		}
+		spawns := m.Facts.Select(node.Pkg.Path, FuncKey(node.Fn), "concpolicy", "spawns")
+		if len(spawns) == 0 {
+			return
+		}
+		leaky[node] = &leak{
+			origin:   spawns[0],
+			originFn: node.Pkg.Name + "." + FuncKey(node.Fn),
+		}
+	})
+
+	// Escape propagation to a fixpoint: a caller that neither joins nor
+	// is leaky yet absorbs its callee's leak. Joining callers stop the
+	// escape — the charitable reading is that their join covers the
+	// goroutines spawned below them (a WaitGroup threaded through).
+	for changed := true; changed; {
+		changed = false
+		m.Graph.Walk(func(node *CallNode) {
+			if joins[node] || leaky[node] != nil {
+				return
+			}
+			for _, e := range node.Calls {
+				cn := m.Graph.Nodes[e.Callee]
+				if cn == nil || leaky[cn] == nil {
+					continue
+				}
+				leaky[node] = leaky[cn]
+				changed = true
+				return
+			}
+		})
+	}
+
+	// Report at the outermost leaky function — one with no module
+	// callers: anything deeper is either covered by a joining caller or
+	// already attributed to the top of its own leaky chain.
+	var out []Diagnostic
+	m.Graph.Walk(func(node *CallNode) {
+		l := leaky[node]
+		if l == nil || incoming[node] > 0 {
+			return
+		}
+		self := node.Pkg.Name + "." + FuncKey(node.Fn)
+		var msg string
+		if self == l.originFn {
+			msg = fmt.Sprintf("goroutine spawned in %s has no statically visible join or cancel path (no WaitGroup.Wait, channel receive, or <-ctx.Done() before return); fire-and-forget spawns outlive the pool's lifecycle contract", self)
+		} else {
+			msg = fmt.Sprintf("goroutine spawned in %s escapes through %s, which never joins it (no WaitGroup.Wait, channel receive, or <-ctx.Done()); join or cancel on every spawn path", l.originFn, self)
+		}
+		out = append(out, Diagnostic{Pos: l.origin.Pos, Analyzer: a.Name(), Message: msg})
+	})
+	return out
+}
+
+// bodyJoins reports whether a function body contains a statically
+// visible join or cancel point: a .Wait() method call (sync.WaitGroup or
+// an errgroup-style collector) or a channel receive — the latter covers
+// result collection loops and <-ctx.Done() select arms alike. Function
+// literal bodies count: a spawned worker that terminates itself on
+// <-ctx.Done() is a recognized cancel path.
+func bodyJoins(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,413 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockCheck is mutex discipline for the policy's mutex-blessed packages,
+// in three rules:
+//
+//  1. pairing: a Lock (or RLock) must have a matching Unlock (RUnlock)
+//     visible in the same function — directly or deferred. A lock held
+//     at return deadlocks the next caller.
+//  2. no lock copies: receivers and parameters whose type is, or
+//     contains by value, a sync.Mutex/RWMutex are flagged — a copied
+//     lock guards a copy, and the original is left unprotected.
+//  3. lock order: the module pass assembles an acquired-while-holding
+//     graph — an edge a→b for every b acquired (directly, or inside any
+//     callee, via the exported "locks" facts and the call graph) while a
+//     is held — and reports every cycle. Two functions taking the same
+//     two locks in opposite orders deadlock under contention; the race
+//     detector only sees it when the schedule cooperates, this pass sees
+//     it always.
+//
+// Lock identity is stable across functions: package-level locks as
+// "pkg.name", struct-field locks as "pkg.Type.field" (so the same field
+// unifies across methods), locals scoped under their function key.
+type LockCheck struct {
+	Policy *ConcurrencyPolicy
+}
+
+// DefaultLockCheck returns the analyzer wired to the checked-in policy.
+func DefaultLockCheck() LockCheck {
+	return LockCheck{Policy: DefaultConcurrencyPolicy()}
+}
+
+// Name implements ModuleAnalyzer.
+func (LockCheck) Name() string { return "lockcheck" }
+
+// Doc implements ModuleAnalyzer.
+func (LockCheck) Doc() string {
+	return "mutex discipline in policy-blessed packages: Lock/Unlock pairing (defer recognized), no locks copied through call boundaries, no cycles in the module's acquired-while-holding lock-order graph"
+}
+
+// ExportFacts implements FactExporter.
+func (LockCheck) ExportFacts(pkg *Package, facts *FactStore) {
+	exportConcFacts(pkg, facts)
+}
+
+// lockEvent is one entry of a function's source-ordered event stream:
+// a lock operation (method non-empty) or a module-internal call (callee
+// non-nil), the two things that move the held-set and the order graph.
+type lockEvent struct {
+	pos      token.Pos
+	name     string
+	method   string
+	deferred bool
+	callee   *types.Func
+}
+
+// CheckModule implements ModuleAnalyzer.
+func (a LockCheck) CheckModule(m *Module) []Diagnostic {
+	// mayLock: which lock identities can a call into fn acquire,
+	// transitively — the function's own "locks" facts unioned with its
+	// callees', to a fixpoint.
+	may := make(map[*types.Func]map[string]bool)
+	m.Graph.Walk(func(node *CallNode) {
+		set := make(map[string]bool)
+		for _, f := range m.Facts.Select(node.Pkg.Path, FuncKey(node.Fn), "concpolicy", "locks") {
+			set[f.Detail] = true
+		}
+		may[node.Fn] = set
+	})
+	for changed := true; changed; {
+		changed = false
+		m.Graph.Walk(func(node *CallNode) {
+			set := may[node.Fn]
+			for _, e := range node.Calls {
+				for l := range may[e.Callee] {
+					if !set[l] {
+						set[l] = true
+						changed = true
+					}
+				}
+			}
+		})
+	}
+
+	// The acquired-while-holding graph, with the first witness position
+	// of every edge (deterministic: functions in Walk order, events in
+	// source order).
+	edges := make(map[string]map[string]token.Position)
+	addEdge := func(from, to string, pos token.Position) {
+		if edges[from] == nil {
+			edges[from] = make(map[string]token.Position)
+		}
+		if _, ok := edges[from][to]; !ok {
+			edges[from][to] = pos
+		}
+	}
+
+	var out []Diagnostic
+	m.Graph.Walk(func(node *CallNode) {
+		pkg := node.Pkg
+		if pkg.TypesInfo == nil || !a.Policy.Allows(pkg.Path, "mutex") {
+			return
+		}
+		out = append(out, a.checkCopies(pkg, node)...)
+		out = append(out, a.scanFunc(pkg, node, may, addEdge)...)
+	})
+
+	out = append(out, a.cycleDiagnostics(edges)...)
+	return out
+}
+
+// checkCopies flags receivers and parameters that carry a lock by value.
+func (a LockCheck) checkCopies(pkg *Package, node *CallNode) []Diagnostic {
+	fd := node.Decl
+	key := FuncKey(node.Fn)
+	var out []Diagnostic
+	check := func(field *ast.Field, what string) {
+		t := pkg.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			return
+		}
+		if _, ok := t.(*types.Pointer); ok {
+			return
+		}
+		lock := containsLockType(t, 3)
+		if lock == "" {
+			return
+		}
+		name := "_"
+		if len(field.Names) > 0 {
+			name = field.Names[0].Name
+		}
+		out = append(out, Diagnostic{
+			Pos:      pkg.Fset.Position(field.Pos()),
+			Analyzer: a.Name(),
+			Message: fmt.Sprintf("%s %s of %s.%s is passed by value and contains %s; a copied lock guards a copy while the original stays unprotected — pass a pointer",
+				what, name, pkg.Name, key, lock),
+		})
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			check(f, "receiver")
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			check(f, "parameter")
+		}
+	}
+	return out
+}
+
+// containsLockType reports the sync lock type t is or embeds by value
+// ("" when none), descending through named types and struct fields to a
+// bounded depth.
+func containsLockType(t types.Type, depth int) string {
+	if depth < 0 {
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return "sync." + obj.Name()
+		}
+		return containsLockType(named.Underlying(), depth-1)
+	}
+	if st, ok := t.(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if _, ok := st.Field(i).Type().(*types.Pointer); ok {
+				continue
+			}
+			if s := containsLockType(st.Field(i).Type(), depth-1); s != "" {
+				return s
+			}
+		}
+	}
+	return ""
+}
+
+// scanFunc collects the function's lock events in source order, checks
+// Lock/Unlock pairing per identity and family, and replays the events
+// against a held-set to contribute acquired-while-holding edges — both
+// for direct acquisitions and for module calls whose mayLock set is
+// non-empty.
+func (a LockCheck) scanFunc(pkg *Package, node *CallNode, may map[*types.Func]map[string]bool, addEdge func(from, to string, pos token.Position)) []Diagnostic {
+	key := FuncKey(node.Fn)
+	deferred := make(map[*ast.CallExpr]bool)
+	var events []lockEvent
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.DeferStmt:
+			deferred[stmt.Call] = true
+		case *ast.CallExpr:
+			if name, method := pkg.mutexCall(stmt, key); method != "" {
+				events = append(events, lockEvent{
+					pos: stmt.Pos(), name: name, method: method, deferred: deferred[stmt],
+				})
+				return true
+			}
+			if callee := pkg.calleeFunc(stmt); callee != nil {
+				if _, inModule := may[callee]; inModule && callee != node.Fn {
+					events = append(events, lockEvent{pos: stmt.Pos(), callee: callee})
+				}
+			}
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	// Rule 1: every acquired (identity, family) needs a release of the
+	// same family somewhere in the function, deferred included.
+	type familyKey struct {
+		name string
+		read bool
+	}
+	firstLock := make(map[familyKey]token.Pos)
+	released := make(map[familyKey]bool)
+	var order []familyKey
+	for _, ev := range events {
+		if ev.method == "" {
+			continue
+		}
+		k := familyKey{name: ev.name, read: strings.HasPrefix(ev.method, "R")}
+		switch ev.method {
+		case "Lock", "RLock":
+			if _, seen := firstLock[k]; !seen {
+				firstLock[k] = ev.pos
+				order = append(order, k)
+			}
+		case "Unlock", "RUnlock":
+			released[k] = true
+		}
+	}
+	var out []Diagnostic
+	for _, k := range order {
+		if released[k] {
+			continue
+		}
+		lockName, unlockName := "Lock", "Unlock"
+		if k.read {
+			lockName, unlockName = "RLock", "RUnlock"
+		}
+		out = append(out, Diagnostic{
+			Pos:      pkg.Fset.Position(firstLock[k]),
+			Analyzer: a.Name(),
+			Message: fmt.Sprintf("%s.%s() in %s.%s has no matching %s in the same function (directly or deferred); a lock held at return deadlocks the next caller",
+				k.name, lockName, pkg.Name, key, unlockName),
+		})
+	}
+
+	// Rule 3 input: replay against a held-set. A deferred Unlock releases
+	// only at return, so the lock stays held for the remainder of the
+	// scan — which is exactly its acquired-while-holding window.
+	var held []string
+	for _, ev := range events {
+		pos := pkg.Fset.Position(ev.pos)
+		switch {
+		case ev.callee != nil:
+			for _, h := range held {
+				for _, l := range sortedLockSet(may[ev.callee]) {
+					addEdge(h, l, pos)
+				}
+			}
+		case ev.method == "Lock" || ev.method == "RLock":
+			if ev.deferred {
+				continue
+			}
+			for _, h := range held {
+				addEdge(h, ev.name, pos)
+			}
+			held = append(held, ev.name)
+		case ev.method == "Unlock" || ev.method == "RUnlock":
+			if ev.deferred {
+				continue
+			}
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i] == ev.name {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// cycleDiagnostics runs Tarjan's SCC over the lock-order graph
+// (deterministic: sorted roots, sorted adjacency) and reports one
+// diagnostic per cycle, anchored at the earliest witness edge.
+func (a LockCheck) cycleDiagnostics(edges map[string]map[string]token.Position) []Diagnostic {
+	nodeSet := make(map[string]bool)
+	for from, tos := range edges {
+		nodeSet[from] = true
+		for to := range tos {
+			nodeSet[to] = true
+		}
+	}
+	nodes := sortedLockSet(nodeSet)
+	neighbors := func(v string) []string { return sortedLockSet(toSet(edges[v])) }
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	counter := 0
+	var sccs [][]string
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range neighbors(v) {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+
+	var out []Diagnostic
+	for _, scc := range sccs {
+		if len(scc) == 1 {
+			v := scc[0]
+			pos, selfEdge := edges[v][v]
+			if !selfEdge {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      pos,
+				Analyzer: a.Name(),
+				Message:  fmt.Sprintf("lock-order cycle: %s is re-acquired while already held (self-deadlock); release before re-locking or split the critical section", v),
+			})
+			continue
+		}
+		sort.Strings(scc)
+		inSCC := make(map[string]bool, len(scc))
+		for _, v := range scc {
+			inSCC[v] = true
+		}
+		var best token.Position
+		haveBest := false
+		for _, from := range scc {
+			for _, to := range sortedLockSet(toSet(edges[from])) {
+				if !inSCC[to] {
+					continue
+				}
+				if pos := edges[from][to]; !haveBest || posLess(pos, best) {
+					best, haveBest = pos, true
+				}
+			}
+		}
+		out = append(out, Diagnostic{
+			Pos:      best,
+			Analyzer: a.Name(),
+			Message: fmt.Sprintf("lock-order cycle among %s: the locks are acquired while holding each other in inconsistent order; establish one global acquisition order",
+				strings.Join(scc, ", ")),
+		})
+	}
+	return out
+}
+
+// toSet lifts an edge target map to a plain set for sorting.
+func toSet(m map[string]token.Position) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// posLess orders positions by file, then line, then column.
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}

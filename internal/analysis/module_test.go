@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/token"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -396,5 +397,253 @@ var dangling = 1
 	}
 	if !strings.HasSuffix(loop.Pos.Filename, filepath.Join("core", "mkp.go")) || loop.Pos.Line != 12 {
 		t.Errorf("seeded bug reported at %s:%d, want core/mkp.go:12", loop.Pos.Filename, loop.Pos.Line)
+	}
+}
+
+// fixtureBless builds one test-policy grant; fixture grants carry a
+// fixed reason so validate() stays satisfied.
+func fixtureBless(pkg string, prims ...string) ConcRule {
+	return ConcRule{Package: pkg, Allow: prims, Reason: "fixture grant"}
+}
+
+// fixtureConcPolicy blesses every concurrency-using fixture package
+// except the concfix pair, so concfix's want markers are the only
+// concpolicy findings over the fixture module. parfix's go statements
+// need no grant: their //lint:allow concpolicy directives suppress them,
+// which TestAllowAudit separately requires.
+func fixtureConcPolicy() *ConcurrencyPolicy {
+	return &ConcurrencyPolicy{Version: 1, Rules: []ConcRule{
+		fixtureBless("fixture/parallel", "go", "chan"),
+		fixtureBless("fixture/parfix", "waitgroup"),
+		fixtureBless("fixture/mapfix", "syncmap"),
+		fixtureBless("fixture/leakfix", "go", "chan", "waitgroup"),
+		fixtureBless("fixture/lockfix", "mutex"),
+		fixtureBless("fixture/capfix", "go", "mutex"),
+	}}
+}
+
+// TestConcPolicyFixtures covers the syntactic half of concpolicy — one
+// finding per (declaration, primitive) at its first occurrence, for
+// every primitive the policy does not grant — and the interprocedural
+// spawns-fact rule at concfix's call into spawnlib.
+func TestConcPolicyFixtures(t *testing.T) {
+	a := ConcPolicy{Policy: fixtureConcPolicy()}
+	checkModuleFixture(t, a, "fixture/concfix", "fixture/concfix/spawnlib")
+}
+
+// TestConcPolicySpawnFactCrossPackage is the fact-propagation test for
+// concpolicy: the spawns fact is exported by spawnlib's pass, and the
+// diagnostic it causes lands at the call site in concfix — a different
+// package.
+func TestConcPolicySpawnFactCrossPackage(t *testing.T) {
+	pkgs := loadFixtures(t)
+	store := NewFactStore()
+	for _, p := range pkgs {
+		ConcPolicy{}.ExportFacts(p, store)
+	}
+	facts := store.Select("fixture/concfix/spawnlib", "StartWorker", "concpolicy", "spawns")
+	if len(facts) != 1 {
+		t.Fatalf("spawns fact for spawnlib.StartWorker: got %d facts, want 1:\n%v", len(facts), facts)
+	}
+	a := ConcPolicy{Policy: fixtureConcPolicy()}
+	diags := onlyAnalyzer(RunAll(pkgs, nil, []ModuleAnalyzer{a}), "concpolicy")
+	var callSite *Diagnostic
+	for i := range diags {
+		if strings.Contains(diags[i].Message, "spawns goroutines (spawns fact at line") {
+			callSite = &diags[i]
+		}
+	}
+	if callSite == nil {
+		t.Fatalf("missing spawns-fact call-site diagnostic in:\n%v", diags)
+	}
+	if !strings.HasSuffix(callSite.Pos.Filename, filepath.Join("concfix", "concfix.go")) {
+		t.Errorf("call-site diagnostic in %s, want concfix/concfix.go", callSite.Pos.Filename)
+	}
+	if !strings.Contains(callSite.Message, "spawnlib.StartWorker") {
+		t.Errorf("diagnostic does not name the spawning callee: %s", callSite)
+	}
+}
+
+// TestGoLeakFixtures covers the join-or-cancel contract: WaitGroup,
+// collector-receive and ctx.Done joins stay clean; the fire-and-forget
+// spawn and the helper spawn escaping through a non-joining caller are
+// flagged at the origin go statements.
+func TestGoLeakFixtures(t *testing.T) {
+	p := &ConcurrencyPolicy{Version: 1, Rules: []ConcRule{
+		fixtureBless("fixture/leakfix", "go"),
+	}}
+	checkModuleFixture(t, GoLeak{Policy: p}, "fixture/leakfix")
+}
+
+// TestLockCheckFixtures covers all three lockcheck rules: the unpaired
+// Lock, the by-value lock copies through parameter and receiver, and
+// both lock-order cycles — the direct inversion and the one closed
+// through lockD's exported locks fact.
+func TestLockCheckFixtures(t *testing.T) {
+	p := &ConcurrencyPolicy{Version: 1, Rules: []ConcRule{
+		fixtureBless("fixture/lockfix", "mutex"),
+	}}
+	checkModuleFixture(t, LockCheck{Policy: p}, "fixture/lockfix")
+}
+
+// TestConcurrencyPolicyFilePinned pins CONC_POLICY.json — the policy
+// file cmd/repro-lint documents as the concurrency contract — to the
+// compiled-in default, so the two cannot drift apart silently.
+func TestConcurrencyPolicyFilePinned(t *testing.T) {
+	p, err := LoadConcurrencyPolicy(filepath.Join("..", "..", "CONC_POLICY.json"))
+	if err != nil {
+		t.Fatalf("LoadConcurrencyPolicy: %v", err)
+	}
+	if !reflect.DeepEqual(p, DefaultConcurrencyPolicy()) {
+		t.Errorf("CONC_POLICY.json does not match DefaultConcurrencyPolicy():\nfile:    %+v\ndefault: %+v", p, DefaultConcurrencyPolicy())
+	}
+}
+
+// TestLoadConcurrencyPolicyValidates rejects grants that do not document
+// themselves: a missing reason and an unknown primitive both fail.
+func TestLoadConcurrencyPolicyValidates(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"no-reason", `{"version":1,"packages":[{"package":"internal/x","allow":["go"],"reason":""}]}`, "has no reason"},
+		{"unknown-primitive", `{"version":1,"packages":[{"package":"internal/x","allow":["semaphore"],"reason":"r"}]}`, "unknown primitive"},
+		{"no-package", `{"version":1,"packages":[{"package":"","allow":["go"],"reason":"r"}]}`, "has no package"},
+	}
+	for _, tc := range cases {
+		path := filepath.Join(dir, tc.name+".json")
+		if err := os.WriteFile(path, []byte(tc.body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadConcurrencyPolicy(path); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestGoLeakCatchesSeededLeak seeds the exact bug class goleak exists
+// for — a pool helper that hands work to a goroutine nobody joins —
+// into a scratch internal/parallel module (blessed for "go" by the
+// default policy) and asserts the default configuration catches it.
+func TestGoLeakCatchesSeededLeak(t *testing.T) {
+	dir := t.TempDir()
+	src := `// Package parallel is a scratch pool with the pre-fix spawn helper.
+package parallel
+
+// Launch hands the work to a goroutine nobody ever joins — the seeded
+// leak: the spawn outlives the pool's lifecycle contract.
+func Launch(work func()) {
+	go work()
+}
+`
+	if err := os.MkdirAll(filepath.Join(dir, "internal", "parallel"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "internal", "parallel", "pool.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir, "scratch")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	diags := onlyAnalyzer(RunAll(pkgs, nil, []ModuleAnalyzer{DefaultGoLeak()}), "goleak")
+	if len(diags) != 1 {
+		t.Fatalf("goleak reported %d diagnostics on the seeded leak, want 1:\n%v", len(diags), diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "goroutine spawned in parallel.Launch has no statically visible join") {
+		t.Errorf("unexpected message: %s", d)
+	}
+	if !strings.HasSuffix(d.Pos.Filename, filepath.Join("parallel", "pool.go")) || d.Pos.Line != 7 {
+		t.Errorf("seeded leak reported at %s:%d, want parallel/pool.go:7", d.Pos.Filename, d.Pos.Line)
+	}
+}
+
+// TestLockCheckCatchesSeededLockCycle seeds the exact bug class the
+// lock-order graph exists for — a metrics registry taking two mutexes
+// in opposite orders on two paths — into a scratch internal/obs module
+// (blessed for "mutex" by the default policy) and asserts the default
+// configuration reports the cycle.
+func TestLockCheckCatchesSeededLockCycle(t *testing.T) {
+	dir := t.TempDir()
+	src := `// Package obs is a scratch metrics registry with the pre-fix locking.
+package obs
+
+import "sync"
+
+var regMu sync.Mutex
+var snapMu sync.Mutex
+
+// Register takes the registry lock, then the snapshot lock.
+func Register() {
+	regMu.Lock()
+	snapMu.Lock()
+	snapMu.Unlock()
+	regMu.Unlock()
+}
+
+// Snapshot nests the same pair the other way — the seeded deadlock.
+func Snapshot() {
+	snapMu.Lock()
+	regMu.Lock()
+	regMu.Unlock()
+	snapMu.Unlock()
+}
+`
+	if err := os.MkdirAll(filepath.Join(dir, "internal", "obs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "internal", "obs", "metrics.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir, "scratch")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	diags := onlyAnalyzer(RunAll(pkgs, nil, []ModuleAnalyzer{DefaultLockCheck()}), "lockcheck")
+	if len(diags) != 1 {
+		t.Fatalf("lockcheck reported %d diagnostics on the seeded cycle, want 1:\n%v", len(diags), diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "lock-order cycle among obs.regMu, obs.snapMu") {
+		t.Errorf("unexpected message: %s", d)
+	}
+	if !strings.HasSuffix(d.Pos.Filename, filepath.Join("obs", "metrics.go")) || d.Pos.Line != 12 {
+		t.Errorf("seeded cycle reported at %s:%d, want obs/metrics.go:12", d.Pos.Filename, d.Pos.Line)
+	}
+}
+
+// TestStaleConcurrencyLedgerEntries proves the TestSelfClean stale-entry
+// guard extends to the concurrency analyzers: a ledger fingerprint for a
+// concpolicy/goleak/lockcheck/sharedcap finding that no longer fires is
+// not accepted by Partition, so accepted < ledger size — exactly the
+// condition TestSelfClean turns into a CI failure.
+func TestStaleConcurrencyLedgerEntries(t *testing.T) {
+	var gone []Diagnostic
+	for _, name := range []string{"concpolicy", "goleak", "lockcheck", "sharedcap"} {
+		gone = append(gone, Diagnostic{
+			Pos:      token.Position{Filename: "internal/parallel/pool.go", Line: 1},
+			Analyzer: name,
+			Message:  "finding fixed since the ledger was written",
+		})
+	}
+	b := NewBaseline("repro", gone, ".")
+	if len(b.Findings) != len(gone) {
+		t.Fatalf("ledger holds %d findings, want %d", len(b.Findings), len(gone))
+	}
+	fresh, accepted := b.Partition(nil, ".")
+	if len(fresh) != 0 {
+		t.Errorf("no diagnostics fired but Partition returned %d fresh", len(fresh))
+	}
+	if len(accepted) != 0 {
+		t.Errorf("stale ledger entries were accepted: %v", accepted)
 	}
 }

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SharedCap polices what goroutine closures capture, ahead of the racing
+// orchestrator: a variable shared with a `go func(){…}()` literal must be
+// loop-local, channel-conveyed, or synchronized. Two shapes are flagged:
+//
+//  1. loop-variable capture: the closure reads an iteration variable of
+//     an enclosing for/range loop. Go 1.22 gives each iteration its own
+//     binding, so this is a clarity contract rather than the classic
+//     aliasing bug — but the pool's idiom is to pin the value as an
+//     argument (`go func(i int){…}(i)`), and the analyzer holds new code
+//     to it.
+//  2. unsynchronized captured writes: the closure assigns to a variable
+//     declared outside it (the incumbent-update class) with no mutex
+//     visibly held around the write. Writes through index expressions
+//     are exempt — chunk-disjoint slice slots (`out[w] = …`) are the
+//     pool's sanctioned result channel.
+//
+// A write counts as synchronized when the closure takes a lock before it
+// and releases one after it (a deferred unlock releases at exit, which
+// is after every write).
+type SharedCap struct{}
+
+// Name implements Analyzer.
+func (SharedCap) Name() string { return "sharedcap" }
+
+// Doc implements Analyzer.
+func (SharedCap) Doc() string {
+	return "goroutine closures must not capture loop variables (pass them as arguments) and may write captured variables only under a visible mutex; chunk-disjoint index writes are exempt"
+}
+
+// Check implements Analyzer.
+func (a SharedCap) Check(pkg *Package) []Diagnostic {
+	if pkg.TypesInfo == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.nonTestFiles() {
+		inspectWithStack(f.AST, func(n ast.Node, stack []ast.Node) {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return
+			}
+			out = append(out, a.checkClosure(pkg, lit, stack)...)
+		})
+	}
+	return out
+}
+
+// checkClosure applies both rules to one goroutine literal. stack holds
+// the enclosing nodes of the go statement, outermost first.
+func (a SharedCap) checkClosure(pkg *Package, lit *ast.FuncLit, stack []ast.Node) []Diagnostic {
+	// Iteration variables of every loop enclosing the go statement.
+	loopVars := make(map[types.Object]bool)
+	for _, s := range stack {
+		switch loop := s.(type) {
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{loop.Key, loop.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := pkg.TypesInfo.Defs[id]; obj != nil {
+						loopVars[obj] = true
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := loop.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, e := range init.Lhs {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := pkg.TypesInfo.Defs[id]; obj != nil {
+							loopVars[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// The closure's visible lock window: positions of acquisitions and
+	// releases inside the literal; a deferred release acts at exit, i.e.
+	// after every write.
+	var lockPos, unlockPos []token.Pos
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.DeferStmt:
+			deferred[node.Call] = true
+		case *ast.CallExpr:
+			if _, method := pkg.mutexCall(node, ""); method != "" {
+				switch method {
+				case "Lock", "RLock":
+					lockPos = append(lockPos, node.Pos())
+				case "Unlock", "RUnlock":
+					if deferred[node] {
+						unlockPos = append(unlockPos, lit.End())
+					} else {
+						unlockPos = append(unlockPos, node.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+	synchronized := func(at token.Pos) bool {
+		before, after := false, false
+		for _, p := range lockPos {
+			if p < at {
+				before = true
+			}
+		}
+		for _, p := range unlockPos {
+			if p >= at {
+				after = true
+			}
+		}
+		return before && after
+	}
+
+	captured := func(obj types.Object) bool {
+		v, ok := obj.(*types.Var)
+		return ok && (v.Pos() < lit.Pos() || v.Pos() > lit.End())
+	}
+
+	reported := make(map[types.Object]bool)
+	var out []Diagnostic
+	flagWrite := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := pkg.TypesInfo.Uses[id]
+		if obj == nil || !captured(obj) || reported[obj] || synchronized(id.Pos()) {
+			return
+		}
+		reported[obj] = true
+		out = append(out, Diagnostic{
+			Pos:      pkg.Fset.Position(id.Pos()),
+			Analyzer: a.Name(),
+			Message: fmt.Sprintf("goroutine closure writes captured variable %s without synchronization; guard the write with a mutex, convey the result over a channel, or use the pool's chunk-disjoint outputs",
+				id.Name),
+		})
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				flagWrite(ast.Unparen(lhs))
+			}
+		case *ast.IncDecStmt:
+			flagWrite(ast.Unparen(node.X))
+		case *ast.Ident:
+			obj := pkg.TypesInfo.Uses[node]
+			if obj == nil || !loopVars[obj] || reported[obj] {
+				return true
+			}
+			reported[obj] = true
+			out = append(out, Diagnostic{
+				Pos:      pkg.Fset.Position(node.Pos()),
+				Analyzer: a.Name(),
+				Message: fmt.Sprintf("goroutine closure captures loop variable %s; pass it as an argument (go func(%s …) { … }(%s)) so the iteration's value is pinned explicitly",
+					node.Name, node.Name, node.Name),
+			})
+		}
+		return true
+	})
+	return out
+}

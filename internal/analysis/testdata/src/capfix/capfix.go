@@ -1,0 +1,80 @@
+// Package capfix exercises sharedcap: variables shared with a goroutine
+// closure must be loop-local (pinned as arguments), channel-conveyed, or
+// synchronized. Chunk-disjoint index writes — the pool's sanctioned
+// result slots — are exempt.
+package capfix
+
+import "sync"
+
+// LoopCapture reads the iteration variable inside the literal instead of
+// pinning it as an argument.
+func LoopCapture(n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		go func() {
+			f(i) // want "goroutine closure captures loop variable i"
+		}()
+	}
+}
+
+// LoopPinned pins the iteration value as an argument — the pool idiom.
+func LoopPinned(n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			f(i)
+		}(i)
+	}
+}
+
+// RaceWrite updates the incumbent from every worker with no lock.
+func RaceWrite(rs []int) {
+	best := 0
+	for c := range rs {
+		go func(c int) {
+			if rs[c] > best {
+				best = rs[c] // want "goroutine closure writes captured variable best without synchronization"
+			}
+		}(c)
+	}
+	_ = best
+}
+
+// LockedWrite is the sanctioned incumbent update: the write sits inside
+// a visible mutex window.
+func LockedWrite(mu *sync.Mutex, rs []int) {
+	best := 0
+	for c := range rs {
+		go func(c int) {
+			mu.Lock()
+			if rs[c] > best {
+				best = rs[c]
+			}
+			mu.Unlock()
+		}(c)
+	}
+	_ = best
+}
+
+// DeferredWrite releases via defer — the unlock acts at closure exit,
+// after every write.
+func DeferredWrite(mu *sync.Mutex, rs []int) {
+	best := 0
+	for c := range rs {
+		go func(c int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if rs[c] > best {
+				best = rs[c]
+			}
+		}(c)
+	}
+	_ = best
+}
+
+// ChunkWrite writes disjoint slots — index writes are exempt.
+func ChunkWrite(out []float64) {
+	for w := range out {
+		go func(w int) {
+			out[w] = float64(w)
+		}(w)
+	}
+}

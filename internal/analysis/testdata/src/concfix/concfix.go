@@ -1,0 +1,92 @@
+// Package concfix holds raw concurrency primitives in a package the
+// test policy does not bless: concpolicy reports each primitive class
+// once per top-level declaration, at its first occurrence, naming the
+// missing grant.
+package concfix
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fixture/concfix/spawnlib"
+)
+
+// ticks is the shared channel the declarations below plumb by hand.
+var ticks = make(chan int) // want "channel construction in a package not blessed for \"chan\""
+
+// calls counts invocations with an unblessed atomic cell.
+var calls atomic.Int64 // want "sync/atomic use in a package not blessed for \"atomic\""
+
+// Fan fans out by hand: the construction and the spawn both report; the
+// send reuses the chan occurrence already reported for this declaration.
+func Fan(n int, out []float64) {
+	ch := make(chan int) // want "channel construction in a package not blessed for \"chan\""
+	for w := 0; w < n; w++ {
+		go worker(ch, out) // want "go statement in a package not blessed for \"go\""
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+}
+
+// worker drains the channel; its chan-typed parameter is this
+// declaration's first chan-class occurrence.
+func worker(ch chan int, out []float64) { // want "channel type in a package not blessed for \"chan\""
+	i := <-ch
+	out[i] = float64(i)
+}
+
+// Feed pushes n values into the shared channel.
+func Feed(n int) {
+	for i := 0; i < n; i++ {
+		ticks <- i // want "channel send in a package not blessed for \"chan\""
+	}
+}
+
+// Drain folds values in channel arrival order.
+func Drain(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-ticks // want "channel receive in a package not blessed for \"chan\""
+	}
+	return total
+}
+
+// Collect returns the first arrival, falling back when none is ready.
+func Collect(fallback int) int {
+	select { // want "select statement in a package not blessed for \"chan\""
+	case v := <-ticks:
+		return v
+	default:
+		return fallback
+	}
+}
+
+// Join waits on a hand-rolled WaitGroup the policy never granted.
+func Join(n int) {
+	var wg sync.WaitGroup // want "sync.WaitGroup use in a package not blessed for \"waitgroup\""
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go wg.Done() // want "go statement in a package not blessed for \"go\""
+	}
+	wg.Wait()
+}
+
+// tally guards its count with a raw mutex the policy does not grant.
+type tally struct {
+	mu sync.Mutex // want "sync.Mutex use in a package not blessed for \"mutex\""
+	n  int
+}
+
+// Bump takes the unblessed lock.
+func (t *tally) Bump() {
+	t.mu.Lock() // want "sync.Mutex use in a package not blessed for \"mutex\""
+	t.n++
+	t.mu.Unlock()
+}
+
+// Spawn launders the goroutine through a helper package; the callee's
+// exported spawns fact still reaches the policy check at this call site.
+func Spawn() {
+	spawnlib.StartWorker() // want "call to spawnlib.StartWorker spawns goroutines"
+}

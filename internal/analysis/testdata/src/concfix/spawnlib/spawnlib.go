@@ -1,0 +1,9 @@
+// Package spawnlib is the unblessed spawning helper: StartWorker's body
+// exports a "spawns" fact, and concfix's call site is judged against it
+// — a helper cannot launder a goroutine past the concurrency policy.
+package spawnlib
+
+// StartWorker launches a worker the caller can never join.
+func StartWorker() {
+	go func() {}() // want "go statement in a package not blessed for \"go\""
+}

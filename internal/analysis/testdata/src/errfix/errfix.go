@@ -17,7 +17,7 @@ func Bad() {
 	local()     // want "error result of errfix.local ignored"
 	var r errlib.R
 	r.Close() // want "error result of errlib.Close ignored"
-	//lint:allow rawgo fixture exercises errret on a go statement
+	//lint:allow concpolicy fixture exercises errret on a go statement
 	go errlib.Do()    // want "error result of errlib.Do ignored"
 	defer errlib.Do() // want "error result of errlib.Do ignored"
 }

@@ -1,0 +1,73 @@
+// Package leakfix exercises goleak: every go statement in a package the
+// policy blesses for "go" needs a statically visible join or cancel path.
+// The joined shapes (WaitGroup.Wait, a collector receive, a <-ctx.Done()
+// select arm) stay clean; fire-and-forget spawns are flagged — including
+// spawns that escape through a non-joining helper, which are attributed
+// to the outermost caller that never joins them.
+package leakfix
+
+import (
+	"context"
+	"sync"
+)
+
+// JoinedByWaitGroup spawns and waits — the sanctioned shape.
+func JoinedByWaitGroup(n int, out []float64) {
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out[w] = float64(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// JoinedByCollector drains one result per spawn — an errgroup-style
+// collector join.
+func JoinedByCollector(n int) int {
+	out := make(chan int)
+	for w := 0; w < n; w++ {
+		go func(w int) { out <- w }(w)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-out
+	}
+	return total
+}
+
+// CanceledByCtx's worker terminates itself on <-ctx.Done() — a
+// recognized cancel path inside the spawned literal.
+func CanceledByCtx(ctx context.Context, tick chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case tick <- 1:
+		}
+	}()
+}
+
+// FireAndForget never joins or cancels what it launched.
+func FireAndForget(done *bool) {
+	go func() { *done = true }() // want "goroutine spawned in leakfix.FireAndForget has no statically visible join"
+}
+
+// spawnWorker is the non-joining helper: whether its spawn leaks is
+// decided by each caller, via the exported spawns fact.
+func spawnWorker(tick chan int) {
+	go func() { tick <- 1 }() // want "escapes through leakfix.LeaksHelper, which never joins it"
+}
+
+// JoinsHelper covers the helper's spawn with its own receive.
+func JoinsHelper() int {
+	tick := make(chan int)
+	spawnWorker(tick)
+	return <-tick
+}
+
+// LeaksHelper calls the spawning helper and returns without joining.
+func LeaksHelper(tick chan int) {
+	spawnWorker(tick)
+}

@@ -1,0 +1,88 @@
+// Package lockfix exercises lockcheck's three rules in a package the
+// test policy blesses for "mutex": Lock/Unlock pairing (defer
+// recognized), no locks copied through call boundaries, and no cycles in
+// the acquired-while-holding lock-order graph — both the direct
+// two-function inversion and the interprocedural one, where the second
+// lock is taken inside a callee and only the exported "locks" fact ties
+// the edge together.
+package lockfix
+
+import "sync"
+
+var (
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+	d sync.Mutex
+)
+
+// Swap takes a then b; Swapped takes them in the opposite order — the
+// classic deadlock under contention. The cycle is anchored at the
+// earliest witness edge: this b.Lock, acquired while a is held.
+func Swap() {
+	a.Lock()
+	b.Lock() // want "lock-order cycle among lockfix.a, lockfix.b"
+	b.Unlock()
+	a.Unlock()
+}
+
+// Swapped inverts the order.
+func Swapped() {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}
+
+// First holds c across a call that acquires d — the d side of this
+// cycle is visible only through lockD's exported locks fact.
+func First() {
+	c.Lock()
+	lockD() // want "lock-order cycle among lockfix.c, lockfix.d"
+	c.Unlock()
+}
+
+// lockD briefly takes d for its caller.
+func lockD() {
+	d.Lock()
+	d.Unlock()
+}
+
+// Second nests the same pair the other way, directly.
+func Second() {
+	d.Lock()
+	c.Lock()
+	c.Unlock()
+	d.Unlock()
+}
+
+// Hold returns with the lock held — the next caller deadlocks.
+func Hold() {
+	a.Lock() // want "lockfix.a.Lock() in lockfix.Hold has no matching Unlock"
+}
+
+// WithDefer is the sanctioned shape: the deferred unlock pairs.
+func WithDefer() int {
+	a.Lock()
+	defer a.Unlock()
+	return 1
+}
+
+// ByValue copies the lock through the parameter boundary.
+func ByValue(mu sync.Mutex) { // want "parameter mu of lockfix.ByValue is passed by value and contains sync.Mutex"
+	mu.Lock()
+	mu.Unlock()
+}
+
+// Guarded bundles a value with its mutex.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bump copies its receiver — and the lock with it.
+func (g Guarded) Bump() { // want "receiver g of lockfix.Guarded.Bump is passed by value and contains sync.Mutex"
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}

@@ -1,6 +1,6 @@
 // Package parallel is the fixture stand-in for the repo's worker pool:
-// its import path ends in /parallel, so rawgo exempts it — this package
-// IS the concurrency substrate everything else must go through.
+// the concurrency-policy tests bless it for raw goroutines and channels
+// — this package IS the substrate everything else must go through.
 package parallel
 
 // Map runs f(0..n-1) on hand-rolled goroutines. Raw `go` statements and

@@ -16,7 +16,7 @@ func FanOutSeeded(seed int64, workers int, out []float64) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		//lint:allow rawgo fixture needs hand-rolled workers to exercise seededrand inside goroutine bodies
+		//lint:allow concpolicy fixture needs hand-rolled workers to exercise seededrand inside goroutine bodies
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(w)))
@@ -31,7 +31,7 @@ func FanOutGlobal(workers int, out []float64) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		//lint:allow rawgo fixture needs hand-rolled workers to exercise seededrand inside goroutine bodies
+		//lint:allow concpolicy fixture needs hand-rolled workers to exercise seededrand inside goroutine bodies
 		go func(w int) {
 			defer wg.Done()
 			out[w] = rand.Float64() // want "global math/rand call rand.Float64"

@@ -1,6 +1,7 @@
 package fastoracle
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -80,6 +81,19 @@ const bbWaveSize = 64
 // REPRO_WORKERS setting — the serial path is simply the same schedule on
 // one worker.
 func (e *Evaluator) BranchBoundOpt(opt BBOptions) BBResult {
+	//lint:allow errwrap context.Background never cancels, so the only error BranchBoundCtx returns cannot occur here
+	res, _ := e.BranchBoundCtx(context.Background(), opt)
+	return res
+}
+
+// BranchBoundCtx is BranchBoundOpt under a context: cancellation and
+// deadline are polled once per wave — between waves every worker has
+// joined, so stopping there abandons no goroutine and splits no task.
+// On cancellation the best incumbent found by the completed waves comes
+// back (the same Size/Set/Nodes a serial run stopped at that wave would
+// report) alongside an error wrapping ctx.Err(); the result is only
+// guaranteed optimal when the error is nil.
+func (e *Evaluator) BranchBoundCtx(ctx context.Context, opt BBOptions) (BBResult, error) {
 	order := opt.Order
 	if order == nil {
 		order = e.degeneracyOrder()
@@ -107,7 +121,17 @@ func (e *Evaluator) BranchBoundOpt(opt BBOptions) BBResult {
 	nodes := int64(1) // the implicit root node
 	tasks := e.rootTasks(order)
 	results := make([]bbTaskResult, bbWaveSize)
+	finish := func() BBResult {
+		out := append([]int(nil), bestSet...)
+		sort.Ints(out)
+		return BBResult{Size: best, Set: out, Nodes: nodes}
+	}
+	//ctx:boundary round
 	for lo := 0; lo < len(tasks); lo += bbWaveSize {
+		if err := ctx.Err(); err != nil {
+			return finish(), fmt.Errorf("fastoracle: branch-and-bound canceled after %d of %d root tasks: %w",
+				lo, len(tasks), err)
+		}
 		hi := lo + bbWaveSize
 		if hi > len(tasks) {
 			hi = len(tasks)
@@ -131,9 +155,7 @@ func (e *Evaluator) BranchBoundOpt(opt BBOptions) BBResult {
 			}
 		}
 	}
-	out := append([]int(nil), bestSet...)
-	sort.Ints(out)
-	return BBResult{Size: best, Set: out, Nodes: nodes}
+	return finish(), nil
 }
 
 // bbTask roots one subtree of the pair decomposition: positions i < j in

@@ -1,6 +1,7 @@
 package kplex_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/graph"
@@ -41,7 +42,7 @@ func BenchmarkBBEndToEnd(b *testing.B) {
 		g := benchGraph(b, name)
 		b.Run(name+"/nokernel", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := kplex.BBOpt(g, k, kplex.BBOptions{DisableKernel: true}); err != nil {
+				if _, err := kplex.BBOpt(context.Background(), g, k, kplex.BBOptions{DisableKernel: true}); err != nil {
 					b.Fatal(err)
 				}
 			}

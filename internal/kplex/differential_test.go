@@ -1,6 +1,7 @@
 package kplex_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -66,7 +67,7 @@ func TestLazyStoreBBMILPDifferential(t *testing.T) {
 			}
 		}
 
-		raw, err := kplex.BBOpt(g, k, kplex.BBOptions{DisableKernel: true})
+		raw, err := kplex.BBOpt(context.Background(), g, k, kplex.BBOptions{DisableKernel: true})
 		if err != nil {
 			t.Fatalf("trial %d: raw BB: %v", trial, err)
 		}
@@ -120,7 +121,7 @@ func TestBBKernelMatchesRaw(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		raw, err := kplex.BBOpt(g, k, kplex.BBOptions{DisableKernel: true})
+		raw, err := kplex.BBOpt(context.Background(), g, k, kplex.BBOptions{DisableKernel: true})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}

@@ -1,6 +1,7 @@
 package kplex_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -149,7 +150,7 @@ func TestCheckedInInstancesSolveExactly(t *testing.T) {
 			if !g.IsKPlex(res.Set, k) || len(res.Set) != res.Size {
 				t.Errorf("%s k=%d: invalid witness %v", tc.file, k, res.Set)
 			}
-			raw, err := kplex.BBOpt(g, k, kplex.BBOptions{DisableKernel: true})
+			raw, err := kplex.BBOpt(context.Background(), g, k, kplex.BBOptions{DisableKernel: true})
 			if err != nil {
 				t.Fatalf("%s k=%d: raw: %v", tc.file, k, err)
 			}

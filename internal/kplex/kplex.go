@@ -5,6 +5,8 @@
 package kplex
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -15,6 +17,12 @@ import (
 	"repro/internal/obs"
 	"repro/internal/reduce"
 )
+
+// ErrCanceled marks a search cut short by context cancellation or
+// deadline expiry. The Result returned alongside it still carries the
+// best incumbent the completed waves found — callers keep the witness,
+// they just lose the optimality certificate.
+var ErrCanceled = errors.New("kplex: search canceled")
 
 // Result is the outcome of an exact search.
 type Result struct {
@@ -202,16 +210,20 @@ type BBOptions struct {
 // BB finds a maximum k-plex with the kernelize-then-search pipeline:
 // greedy lower bound, iterated degree peeling against it, per-component
 // deterministic wave-parallel branch-and-bound over the kernel's
-// degeneracy order (fastoracle.BranchBoundOpt), answers lifted back to
+// degeneracy order (fastoracle.BranchBoundCtx), answers lifted back to
 // original vertex ids. Works at any vertex count — the engine needs no
 // mask encoding. Nodes is the summed deterministic search cost, identical
-// at any worker count.
+// at any worker count. Use BBOpt for cancellation.
 func BB(g *graph.Graph, k int) (Result, error) {
-	return BBOpt(g, k, BBOptions{})
+	return BBOpt(context.Background(), g, k, BBOptions{})
 }
 
-// BBOpt is BB with options. See BBOptions.
-func BBOpt(g *graph.Graph, k int, opt BBOptions) (Result, error) {
+// BBOpt is BB with options and a context. Cancellation and deadline are
+// honoured at wave boundaries of the underlying branch-and-bound; on
+// cancellation the best incumbent found so far (never worse than the
+// greedy seed) comes back alongside an error wrapping ErrCanceled and
+// the context cause.
+func BBOpt(ctx context.Context, g *graph.Graph, k int, opt BBOptions) (Result, error) {
 	if k < 1 {
 		return Result{}, fmt.Errorf("kplex: k=%d must be ≥ 1", k)
 	}
@@ -229,16 +241,32 @@ func BBOpt(g *graph.Graph, k int, opt BBOptions) (Result, error) {
 	lb := Greedy(g, kEff)
 	best := append([]int(nil), lb...)
 	nodes := int64(1)
+	// finish closes the span and accounts the nodes on every exit path —
+	// the canceled ones included, so a cut-short run still traces and
+	// still hands back its incumbent.
+	finish := func(cause error) (Result, error) {
+		mx.Add("fastoracle.bb.nodes", nodes)
+		sort.Ints(best)
+		sp.End(obs.Int("size", len(best)), obs.Int64("nodes", nodes))
+		r := Result{Set: best, Size: len(best), Nodes: nodes}
+		if cause != nil {
+			return r, fmt.Errorf("%w: %w", ErrCanceled, cause)
+		}
+		return r, nil
+	}
 	if opt.DisableKernel {
 		e, err := fastoracle.New(g, kEff)
 		if err != nil {
 			sp.End()
 			return Result{}, fmt.Errorf("kplex: %w", err)
 		}
-		res := e.BranchBoundOpt(fastoracle.BBOptions{Seed: lb})
+		res, cerr := e.BranchBoundCtx(ctx, fastoracle.BBOptions{Seed: lb})
 		nodes += res.Nodes
 		if res.Size > len(best) {
 			best = res.Set
+		}
+		if cerr != nil {
+			return finish(cerr)
 		}
 	} else {
 		kern := reduce.Kernelize(g, kEff, len(lb))
@@ -276,7 +304,7 @@ func BBOpt(g *graph.Graph, k int, opt BBOptions) (Result, error) {
 				sp.End()
 				return Result{}, fmt.Errorf("kplex: %w", err)
 			}
-			res := e.BranchBoundOpt(fastoracle.BBOptions{
+			res, cerr := e.BranchBoundCtx(ctx, fastoracle.BBOptions{
 				MinSize: len(best),
 				Order:   restrictOrder(kern.Order, ids),
 			})
@@ -289,12 +317,12 @@ func BBOpt(g *graph.Graph, k int, opt BBOptions) (Result, error) {
 				}
 				best = lifted
 			}
+			if cerr != nil {
+				return finish(cerr)
+			}
 		}
 	}
-	mx.Add("fastoracle.bb.nodes", nodes)
-	sort.Ints(best)
-	sp.End(obs.Int("size", len(best)), obs.Int64("nodes", nodes))
-	return Result{Set: best, Size: len(best), Nodes: nodes}, nil
+	return finish(nil)
 }
 
 // restrictOrder projects a degeneracy order of the kernel onto one
