@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt-check vet lint lint-json lint-sarif lint-baseline lint-concurrency vulncheck test race race-bb bench-smoke bench-json obs-smoke fuzz-smoke ci
+.PHONY: build fmt-check vet lint lint-json lint-sarif lint-baseline lint-concurrency vulncheck test race race-bb race-server bench-smoke bench-json bench-serve serve-smoke obs-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -104,6 +104,29 @@ bench-json:
 	| $(GO) run ./cmd/benchjson > BENCH_ISSUE8.json
 	@cat BENCH_ISSUE8.json
 
+# Race detector over the solver daemon: admission semaphore, result
+# cache, trace ring and graceful drain under concurrent clients.
+race-server:
+	$(GO) test -race -count=1 ./internal/server/
+
+# Service smoke: spawn qmkpd on a free port, stream one known instance
+# (gnm100, k=2, optimum 5) and assert the event feed ends in the right
+# final frame, then resubmit a random relabelling and assert it is
+# served from the canonical-hash cache with a valid witness — counters
+# on /debug/vars and the /v1/trace download checked along the way.
+serve-smoke:
+	$(GO) build -o /tmp/qmkpd-smoke ./cmd/qmkpd
+	$(GO) run ./cmd/qmkp-load -mode smoke -spawn /tmp/qmkpd-smoke
+
+# Seeded service load: relabelled resubmissions over a handful of Gnm
+# instances through the live daemon; writes p50/p90/p99 latency and the
+# cache hit rate to BENCH_ISSUE10.json (the checked-in service numbers).
+bench-serve:
+	$(GO) build -o /tmp/qmkpd-bench ./cmd/qmkpd
+	$(GO) run ./cmd/qmkp-load -mode load -spawn /tmp/qmkpd-bench \
+		-n 60 -instances 6 -conc 8 -out BENCH_ISSUE10.json
+	@cat BENCH_ISSUE10.json
+
 # Observability smoke: one seeded qMKP solve, traced twice at different
 # worker counts. The span/event stream and the metrics snapshot must be
 # bit-identical (the determinism contract of internal/obs, DESIGN.md §9).
@@ -127,4 +150,4 @@ fuzz-smoke:
 	$(GO) test ./internal/graph/ -fuzz FuzzGraphRead -fuzztime 5s
 	$(GO) test ./internal/oracle/ -run FuzzFastOracle -fuzz FuzzFastOracle -fuzztime 5s
 
-ci: build fmt-check vet lint lint-concurrency test race race-bb bench-smoke obs-smoke
+ci: build fmt-check vet lint lint-concurrency test race race-bb race-server bench-smoke obs-smoke serve-smoke

@@ -8,15 +8,24 @@
 //	qmkp -algo qamkp -k 3 -gen 20,100 -shots 500 -deltat 5
 //	qmkp -algo bs    -k 2 -dataset 'G_{10,23}'
 //	qmkp -algo qmkp  -k 2 -dataset 'G_{10,23}' -trace-out trace.jsonl -metrics-out metrics.json
+//	qmkp -json-in request.json -json-out -
 //
 // Input is either -graph (a DIMACS-style p/e file — .clq/.col headers
 // included — or a SNAP-style .snap/.edges list; see internal/graph),
 // -gen n,m (a seeded random graph) or -dataset (a named paper dataset).
 //
+// -json-in switches to the versioned wire schema shared with the
+// solver daemon (internal/api): the file (or stdin, "-") holds one
+// api.SolveRequest, the solve runs through the same dispatcher the
+// daemon uses, and the api.SolveResult is written to -json-out (stdout
+// by default). A CLI answer and a daemon answer for the same request
+// document are therefore the same JSON.
+//
 // Runs are cancellable: -timeout bounds the solve, and an interrupt
 // (Ctrl-C) stops it at the next probe/try/shot boundary; either way the
 // best solution found so far is printed before exiting. Exit codes
-// distinguish failure classes:
+// distinguish failure classes (the table lives in internal/api, shared
+// with the daemon's HTTP status mapping):
 //
 //	0  solved
 //	1  input/runtime error
@@ -33,43 +42,33 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/api"
 	"repro/internal/club"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/kplex"
 	"repro/internal/obsio"
 	"repro/internal/parallel"
+	"repro/internal/server"
 )
 
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "qmkp:", err)
-		os.Exit(exitCode(err))
+		os.Exit(api.ExitCode(err))
 	}
-}
-
-// exitCode maps the core sentinels to the documented exit codes.
-func exitCode(err error) int {
-	switch {
-	case errors.Is(err, core.ErrBadSpec):
-		return 2
-	case errors.Is(err, core.ErrTooLarge):
-		return 3
-	case errors.Is(err, core.ErrInfeasible):
-		return 4
-	case errors.Is(err, core.ErrCanceled):
-		return 5
-	}
-	return 1
 }
 
 func run() error {
@@ -90,6 +89,9 @@ func run() error {
 		nokernel = flag.Bool("nokernel", false, "bb: skip kernelization (degree peeling + component split) and search the raw graph")
 		workers  = flag.Int("workers", 0, "worker count for parallel phases (0 = keep REPRO_WORKERS / NumCPU default); results are identical at any value")
 		circuit  = flag.Bool("circuit", false, "qmkp/qtkp: force oracle evaluation through circuit replay (disables the semantic fast path; same results, slower)")
+
+		jsonIn  = flag.String("json-in", "", "read one api.SolveRequest (wire schema v1) from this file ('-' = stdin) and solve it through the daemon's dispatcher; replaces the flag-based input")
+		jsonOut = flag.String("json-out", "", "with -json-in: write the api.SolveResult JSON here ('-' = stdout, the default)")
 
 		timeout    = flag.Duration("timeout", 0, "cancel the solve after this duration (0 = none); the best solution so far is still printed")
 		traceOut   = flag.String("trace-out", "", "write the deterministic span/event trace as JSONL to this file ('-' = stdout)")
@@ -127,6 +129,13 @@ func run() error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *jsonOut != "" && *jsonIn == "" {
+		return fmt.Errorf("-json-out requires -json-in: %w", core.ErrBadSpec)
+	}
+	if *jsonIn != "" {
+		return runJSON(ctx, *jsonIn, *jsonOut, sink)
 	}
 
 	g, err := loadGraph(*file, *gen, *dataset, *seed)
@@ -255,6 +264,51 @@ func run() error {
 		return fmt.Errorf("unknown algorithm %q: %w", *algo, core.ErrBadSpec)
 	}
 	return nil
+}
+
+// runJSON is the wire-schema mode: one api.SolveRequest in, one
+// api.SolveResult out, through the exact dispatcher the daemon uses
+// (server.Execute). The request's own timeout_ms composes with -timeout
+// and Ctrl-C — whichever fires first cancels the solve. Errors are
+// reported both in-band (error_kind/error in the result document) and
+// through the process exit code, so scripts can pick either signal.
+func runJSON(ctx context.Context, in, out string, sink *obsio.Sink) error {
+	var src io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	req, err := api.DecodeSolveRequest(src)
+	if err != nil {
+		return err
+	}
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	res, solveErr := server.Execute(ctx, req, sink.Obs)
+	if res == nil {
+		res = &api.SolveResult{V: api.Version, Algo: req.Algo, K: req.K}
+	}
+	res.SetError(solveErr)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" || out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	return solveErr
 }
 
 func loadGraph(file, gen, dataset string, seed int64) (*graph.Graph, error) {

@@ -1,0 +1,83 @@
+// Command qmkpd is the solver daemon: the repo's solvers as a
+// long-running HTTP/JSON service (internal/server) with bounded
+// admission, a canonical-hash result cache, and streamed progressive
+// answers.
+//
+// Usage:
+//
+//	qmkpd -addr :7477
+//	qmkpd -addr 127.0.0.1:0 -inflight 8 -queue 32 -drain 10s
+//
+// Endpoints:
+//
+//	POST /v1/solve      one api.SolveRequest in; api.SolveResult out, or
+//	                    a text/event-stream of api.Event frames when the
+//	                    request sets "stream":true (or the client sends
+//	                    Accept: text/event-stream)
+//	GET  /v1/trace/{id} the retained deterministic trace of a recent
+//	                    solve as JSONL (id from the result/accepted frame)
+//	GET  /healthz       liveness probe
+//	GET  /debug/vars    the daemon's counter/gauge registry as JSON
+//
+// Shutdown: SIGINT/SIGTERM stops accepting requests, gives in-flight
+// solves -drain to finish, then cancels the remainder — which still
+// answer with the best solution found so far, per the solver stack's
+// cancellation contract.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qmkpd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":7477", "listen address")
+		inflight = flag.Int("inflight", 4, "max concurrent solves")
+		queue    = flag.Int("queue", 16, "max requests waiting past the in-flight limit before 429")
+		deadline = flag.Duration("deadline", 30*time.Second, "default per-solve deadline (requests may ask for less; -max-deadline caps more)")
+		maxDL    = flag.Duration("max-deadline", 2*time.Minute, "upper clamp on request timeout_ms")
+		drain    = flag.Duration("drain", 5*time.Second, "shutdown grace for in-flight solves before their contexts are cancelled")
+		maxN     = flag.Int("max-vertices", 10000, "admission cap on instance vertex count (413 past it)")
+		cacheSz  = flag.Int("cache", 256, "result-cache capacity in entries (0 keeps the default; negative disables)")
+		traceSz  = flag.Int("traces", 64, "retained solve traces for /v1/trace (0 keeps the default; negative disables)")
+		workers  = flag.Int("workers", 0, "worker count for parallel phases (0 = REPRO_WORKERS / NumCPU)")
+	)
+	flag.Parse()
+
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		MaxInflight:    *inflight,
+		QueueDepth:     *queue,
+		DefaultTimeout: *deadline,
+		MaxTimeout:     *maxDL,
+		DrainTimeout:   *drain,
+		MaxVertices:    *maxN,
+		CacheEntries:   *cacheSz,
+		TraceEntries:   *traceSz,
+	})
+	fmt.Printf("qmkpd: listening on %s (inflight=%d queue=%d drain=%v)\n", *addr, *inflight, *queue, *drain)
+	return srv.Run(ctx)
+}

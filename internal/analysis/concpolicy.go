@@ -80,6 +80,14 @@ func DefaultConcurrencyPolicy() *ConcurrencyPolicy {
 				Reason: "the Lazy store memoizes MaxPlexSize behind sync.Once and accounts search " +
 					"nodes atomically under the pool",
 			},
+			{
+				Package: "internal/server",
+				Allow:   []string{"go", "chan", "mutex", "atomic"},
+				Reason: "the solver daemon's admission and lifecycle: one http.Serve goroutine " +
+					"joined by channel receive before Serve returns, a buffered-channel admission " +
+					"semaphore, mutexes guarding the result cache and trace ring, and atomic " +
+					"request-id/queue-depth counters",
+			},
 		},
 	}
 }

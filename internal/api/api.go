@@ -1,0 +1,316 @@
+// Package api defines the versioned wire schema shared by the solver
+// daemon (cmd/qmkpd, internal/server) and the CLI (cmd/qmkp -json-in /
+// -json-out): SolveRequest in, SolveResult out, and the Event frames the
+// streaming endpoint emits — all carrying an explicit `"v":1` version
+// field and decoded strictly (unknown fields are errors, so schema drift
+// between clients and servers fails loudly instead of silently dropping
+// options).
+//
+// It also owns the error taxonomy of the service boundary: the mapping
+// from the typed core sentinels to CLI exit codes (formerly hard-coded
+// in cmd/qmkp) and to HTTP status codes (status.go), so every surface
+// classifies failures identically.
+//
+// Vertices on the wire are 1-based, matching the DIMACS instance files
+// and the paper's v1..vn labelling; in-memory graphs are 0-based.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Version is the wire schema version this package speaks. Requests and
+// results carry it in the "v" field; decoding rejects anything else.
+const Version = 1
+
+// The algorithms the service boundary accepts. The gate-model
+// algorithms are capped at core.MaxGateVertices; bb and greedy run at
+// any vertex count.
+const (
+	AlgoQMKP   = "qmkp"   // binary-search Grover (paper Algorithm 3)
+	AlgoQTKP   = "qtkp"   // threshold Grover probe (paper Algorithm 2)
+	AlgoQAMKP  = "qamkp"  // QUBO annealing (paper Algorithm 4)
+	AlgoBB     = "bb"     // exact kernelize-then-search branch-and-bound
+	AlgoGreedy = "greedy" // greedy heuristic lower bound
+)
+
+// KnownAlgo reports whether algo names a solver the wire API dispatches.
+func KnownAlgo(algo string) bool {
+	switch algo {
+	case AlgoQMKP, AlgoQTKP, AlgoQAMKP, AlgoBB, AlgoGreedy:
+		return true
+	}
+	return false
+}
+
+// Graph is the wire form of an instance: vertex count plus a 1-based
+// edge list. The strictness of the DIMACS reader carries over: edges
+// must be in range, self-loops and duplicates are rejected.
+type Graph struct {
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+// Build validates the wire graph and converts it to the in-memory form.
+// Violations wrap core.ErrBadSpec so they map to exit code 2 / HTTP 400.
+func (wg Graph) Build() (*graph.Graph, error) {
+	if wg.N < 1 {
+		return nil, fmt.Errorf("api: graph needs n ≥ 1, got n=%d: %w", wg.N, core.ErrBadSpec)
+	}
+	g := graph.New(wg.N)
+	for i, e := range wg.Edges {
+		u, v := e[0], e[1]
+		if u < 1 || u > wg.N || v < 1 || v > wg.N {
+			return nil, fmt.Errorf("api: edge %d {%d,%d} out of range 1..%d: %w", i, u, v, wg.N, core.ErrBadSpec)
+		}
+		if u == v {
+			return nil, fmt.Errorf("api: edge %d is a self-loop at %d: %w", i, u, core.ErrBadSpec)
+		}
+		if g.HasEdge(u-1, v-1) {
+			return nil, fmt.Errorf("api: duplicate edge %d {%d,%d}: %w", i, u, v, core.ErrBadSpec)
+		}
+		g.AddEdge(u-1, v-1)
+	}
+	return g, nil
+}
+
+// FromGraph converts an in-memory graph to the wire form (edges sorted,
+// 1-based — exactly the serialization graph.Write uses).
+func FromGraph(g *graph.Graph) Graph {
+	edges := g.Edges()
+	out := Graph{N: g.N(), Edges: make([][2]int, len(edges))}
+	for i, e := range edges {
+		out.Edges[i] = [2]int{e[0] + 1, e[1] + 1}
+	}
+	return out
+}
+
+// AnnealParams carries the qaMKP knobs (consulted only for AlgoQAMKP).
+type AnnealParams struct {
+	R      float64 `json:"r,omitempty"`      // penalty weight (> 1); default 2
+	Shots  int     `json:"shots,omitempty"`  // anneals; default 200
+	DeltaT int     `json:"deltat,omitempty"` // sweeps per anneal; default 5
+}
+
+// SolveRequest is one solve job. Exactly the fields relevant to Algo
+// are consulted: K everywhere, T for qtkp, Anneal for qamkp, Seed for
+// the randomized algorithms.
+type SolveRequest struct {
+	V     int    `json:"v"`
+	Algo  string `json:"algo"`
+	K     int    `json:"k"`
+	T     int    `json:"t,omitempty"`
+	Graph Graph  `json:"graph"`
+
+	// Seed drives the randomized algorithms (measurement draws, anneal
+	// shots). 0 means the default seed 1, matching cmd/qmkp.
+	Seed int64 `json:"seed,omitempty"`
+
+	// TimeoutMS bounds the solve server-side; the server clamps it to
+	// its configured maximum and maps it onto the request context, so
+	// expiry returns the best answer found so far (HTTP 408 semantics).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Stream requests a progressive text/event-stream response (Event
+	// frames ending in a "final" carrying the SolveResult) instead of a
+	// single JSON document.
+	Stream bool `json:"stream,omitempty"`
+
+	// NoCache bypasses the canonical-hash result cache for this request
+	// (the solve still runs; its result is not stored either).
+	NoCache bool `json:"no_cache,omitempty"`
+
+	Anneal *AnnealParams `json:"anneal,omitempty"`
+}
+
+// ProgressPoint is the wire form of one qMKP binary-search probe.
+type ProgressPoint struct {
+	T        int   `json:"t"`
+	Found    bool  `json:"found"`
+	Size     int   `json:"size,omitempty"`
+	Set      []int `json:"set,omitempty"` // 1-based
+	CumGates int64 `json:"cum_gates,omitempty"`
+}
+
+// SolveResult is the outcome of one solve. Set is 1-based. On
+// cancellation or infeasibility the cost accounting is still populated
+// and ErrorKind/Error classify what happened (see status.go).
+type SolveResult struct {
+	V    int    `json:"v"`
+	ID   string `json:"id,omitempty"` // server-assigned request id (trace download key)
+	Algo string `json:"algo"`
+	K    int    `json:"k"`
+
+	Size  int   `json:"size"`
+	Set   []int `json:"set"`             // 1-based
+	Found bool  `json:"found"`           // qtkp: witness found; others: Size > 0
+	Valid *bool `json:"valid,omitempty"` // qamkp: decoded assignment is a k-plex
+
+	Progress      []ProgressPoint `json:"progress,omitempty"`
+	FirstFeasible *ProgressPoint  `json:"first_feasible,omitempty"`
+
+	Nodes            int64   `json:"nodes,omitempty"` // classical search-tree nodes
+	OracleCalls      int     `json:"oracle_calls,omitempty"`
+	Gates            int64   `json:"gates,omitempty"`
+	QPUTimeNS        int64   `json:"qpu_time_ns,omitempty"` // modelled gate-latency time
+	ErrorProbability float64 `json:"error_probability,omitempty"`
+
+	// Cached marks a result served from the canonical-hash cache, its
+	// witness sets mapped through the isomorphism onto this request's
+	// vertex labels.
+	Cached bool `json:"cached,omitempty"`
+
+	ErrorKind string `json:"error_kind,omitempty"` // one of the Kind* constants
+	Error     string `json:"error,omitempty"`
+}
+
+// Clone returns a deep copy (vertex sets and progress points are not
+// shared). The daemon's cache hands out clones so per-request label
+// remapping cannot corrupt the stored canonical result.
+func (r *SolveResult) Clone() *SolveResult {
+	if r == nil {
+		return nil
+	}
+	out := *r
+	out.Set = append([]int(nil), r.Set...)
+	if r.Valid != nil {
+		v := *r.Valid
+		out.Valid = &v
+	}
+	if r.Progress != nil {
+		out.Progress = make([]ProgressPoint, len(r.Progress))
+		for i, p := range r.Progress {
+			p.Set = append([]int(nil), p.Set...)
+			out.Progress[i] = p
+		}
+	}
+	if r.FirstFeasible != nil {
+		p := *r.FirstFeasible
+		p.Set = append([]int(nil), p.Set...)
+		out.FirstFeasible = &p
+	}
+	return &out
+}
+
+// Event is one frame of the streaming response. Type orders the
+// progressive-answer story: accepted → greedy_seed/kernel → probe /
+// first_feasible / incumbent → final (Result set) — the paper's
+// first-feasible-at-O(1/log n)-of-runtime property as a live feed.
+type Event struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+	ID   string `json:"id,omitempty"`
+
+	T        int   `json:"t,omitempty"`
+	Size     int   `json:"size,omitempty"`
+	Found    bool  `json:"found,omitempty"`
+	CumGates int64 `json:"cum_gates,omitempty"`
+
+	Result *SolveResult `json:"result,omitempty"` // final frames only
+}
+
+// Event types of the streaming endpoint.
+const (
+	EventAccepted      = "accepted"       // job admitted; carries the request id
+	EventGreedySeed    = "greedy_seed"    // classical lower bound before any probe
+	EventKernel        = "kernel"         // bb: kernelization finished (Size = kernel vertices)
+	EventProbe         = "probe"          // qmkp: one binary-search probe decided
+	EventFirstFeasible = "first_feasible" // qmkp: first witness of any size
+	EventIncumbent     = "incumbent"      // bb: incumbent improved
+	EventFinal         = "final"          // terminal frame; Result is populated
+)
+
+// decodeStrict decodes exactly one JSON document from r into v,
+// rejecting unknown fields and trailing content.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("api: decode: %v: %w", err, core.ErrBadSpec)
+	}
+	if dec.More() {
+		return fmt.Errorf("api: trailing data after JSON document: %w", core.ErrBadSpec)
+	}
+	return nil
+}
+
+// DecodeSolveRequest reads and validates one SolveRequest. Unknown
+// fields, version mismatches, unknown algorithms and out-of-range
+// parameters all wrap core.ErrBadSpec.
+func DecodeSolveRequest(r io.Reader) (*SolveRequest, error) {
+	var req SolveRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return nil, err
+	}
+	if req.V != Version {
+		return nil, fmt.Errorf("api: unsupported wire version %d (want %d): %w", req.V, Version, core.ErrBadSpec)
+	}
+	if !KnownAlgo(req.Algo) {
+		return nil, fmt.Errorf("api: unknown algorithm %q: %w", req.Algo, core.ErrBadSpec)
+	}
+	if req.K < 1 {
+		return nil, fmt.Errorf("api: k=%d must be ≥ 1: %w", req.K, core.ErrBadSpec)
+	}
+	if req.Algo == AlgoQTKP && req.T < 1 {
+		return nil, fmt.Errorf("api: qtkp needs t ≥ 1: %w", core.ErrBadSpec)
+	}
+	if req.TimeoutMS < 0 {
+		return nil, fmt.Errorf("api: timeout_ms=%d must be ≥ 0: %w", req.TimeoutMS, core.ErrBadSpec)
+	}
+	return &req, nil
+}
+
+// DecodeSolveResult reads one SolveResult with the same strictness; the
+// client half of the round trip (cmd/qmkp-load, tests).
+func DecodeSolveResult(r io.Reader) (*SolveResult, error) {
+	var res SolveResult
+	if err := decodeStrict(r, &res); err != nil {
+		return nil, err
+	}
+	if res.V != Version {
+		return nil, fmt.Errorf("api: unsupported wire version %d (want %d): %w", res.V, Version, core.ErrBadSpec)
+	}
+	return &res, nil
+}
+
+// DecodeEvent reads one Event frame (the `data:` payload of an SSE
+// line).
+func DecodeEvent(data []byte) (*Event, error) {
+	var ev Event
+	if err := json.Unmarshal(data, &ev); err != nil {
+		return nil, fmt.Errorf("api: decode event: %v: %w", err, core.ErrBadSpec)
+	}
+	if ev.V != Version {
+		return nil, fmt.Errorf("api: unsupported wire version %d (want %d): %w", ev.V, Version, core.ErrBadSpec)
+	}
+	return &ev, nil
+}
+
+// OneBased converts a 0-based vertex set to the wire's 1-based labels.
+func OneBased(set []int) []int {
+	if set == nil {
+		return nil
+	}
+	out := make([]int, len(set))
+	for i, v := range set {
+		out[i] = v + 1
+	}
+	return out
+}
+
+// ZeroBased is the inverse of OneBased.
+func ZeroBased(set []int) []int {
+	if set == nil {
+		return nil
+	}
+	out := make([]int, len(set))
+	for i, v := range set {
+		out[i] = v - 1
+	}
+	return out
+}

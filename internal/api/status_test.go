@@ -1,0 +1,63 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestStatusTablesPinned pins both halves of the error taxonomy — the
+// documented cmd/qmkp exit codes and the daemon's HTTP statuses — to
+// the core sentinels, for bare and wrapped chains alike. Changing a
+// mapping is an API break and must show up here.
+func TestStatusTablesPinned(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		exit int
+		http int
+		kind string
+	}{
+		{"nil", nil, 0, http.StatusOK, ""},
+		{"bad-spec", core.ErrBadSpec, 2, http.StatusBadRequest, KindBadSpec},
+		{"too-large", core.ErrTooLarge, 3, http.StatusRequestEntityTooLarge, KindTooLarge},
+		{"infeasible", core.ErrInfeasible, 4, http.StatusOK, KindInfeasible},
+		{"canceled", core.ErrCanceled, 5, http.StatusRequestTimeout, KindCanceled},
+		{"unknown", errors.New("disk on fire"), 1, http.StatusInternalServerError, KindInternal},
+	}
+	for _, tc := range cases {
+		chains := []error{tc.err}
+		if tc.err != nil {
+			chains = append(chains,
+				fmt.Errorf("outer: %w", tc.err),
+				fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", tc.err)))
+		}
+		for depth, err := range chains {
+			if got := ExitCode(err); got != tc.exit {
+				t.Errorf("%s (depth %d): ExitCode = %d, want %d", tc.name, depth, got, tc.exit)
+			}
+			if got := HTTPStatus(err); got != tc.http {
+				t.Errorf("%s (depth %d): HTTPStatus = %d, want %d", tc.name, depth, got, tc.http)
+			}
+			if got := ErrorKind(err); got != tc.kind {
+				t.Errorf("%s (depth %d): ErrorKind = %q, want %q", tc.name, depth, got, tc.kind)
+			}
+		}
+	}
+}
+
+// TestSetError stamps the taxonomy onto a result exactly once.
+func TestSetError(t *testing.T) {
+	var r SolveResult
+	r.SetError(nil)
+	if r.ErrorKind != "" || r.Error != "" {
+		t.Error("SetError(nil) must be a no-op")
+	}
+	r.SetError(fmt.Errorf("probe: %w", core.ErrCanceled))
+	if r.ErrorKind != KindCanceled || r.Error == "" {
+		t.Errorf("SetError: kind %q, error %q", r.ErrorKind, r.Error)
+	}
+}

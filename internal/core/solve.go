@@ -222,6 +222,11 @@ func SolveMKP(ctx context.Context, g *graph.Graph, spec Spec) (MKPResult, error)
 		if set := kplex.Greedy(g, k); len(set) > out.Size {
 			out.Set = set
 			out.Size = len(set)
+			if tr.Enabled() {
+				// The service boundary streams this as the first
+				// progressive answer, before any quantum probe runs.
+				tr.Event("qmkp.greedy_seed", obs.Int("size", out.Size), obs.Int("lo", lo), obs.Int("hi", hi))
+			}
 		}
 	}
 	for lo <= hi { //ctx:boundary probe

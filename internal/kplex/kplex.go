@@ -240,6 +240,9 @@ func BBOpt(ctx context.Context, g *graph.Graph, k int, opt BBOptions) (Result, e
 		obs.Int("n", n), obs.Int("k", kEff), obs.Bool("kernel", !opt.DisableKernel))
 	lb := Greedy(g, kEff)
 	best := append([]int(nil), lb...)
+	// Emitted on the serial orchestration path (worker-invariant); the
+	// service boundary streams it as the first progressive answer.
+	sp.Event("kplex.bb.seed", obs.Int("size", len(lb)))
 	nodes := int64(1)
 	// finish closes the span and accounts the nodes on every exit path —
 	// the canceled ones included, so a cut-short run still traces and
@@ -264,6 +267,7 @@ func BBOpt(ctx context.Context, g *graph.Graph, k int, opt BBOptions) (Result, e
 		nodes += res.Nodes
 		if res.Size > len(best) {
 			best = res.Set
+			sp.Event("kplex.bb.incumbent", obs.Int("size", len(best)))
 		}
 		if cerr != nil {
 			return finish(cerr)
@@ -316,6 +320,9 @@ func BBOpt(ctx context.Context, g *graph.Graph, k int, opt BBOptions) (Result, e
 					lifted[i] = kern.Map[ids[v]]
 				}
 				best = lifted
+				// Serial merge path: one event per incumbent improvement,
+				// deterministic at any worker count.
+				sp.Event("kplex.bb.incumbent", obs.Int("size", len(best)))
 			}
 			if cerr != nil {
 				return finish(cerr)

@@ -1,0 +1,86 @@
+package obs
+
+// Value returns the attribute's value as the Go type it was built with
+// (string, int64, float64, or bool) — the read-side counterpart of the
+// Str/Int/Int64/F64/Bool constructors, for Observers that interpret
+// attributes (the daemon's SSE bridge) rather than encode them.
+func (a Attr) Value() any {
+	switch a.kind {
+	case kindString:
+		return a.str
+	case kindInt:
+		return a.num
+	case kindFloat:
+		return a.f
+	case kindBool:
+		return a.b
+	}
+	return nil
+}
+
+// AttrInt returns the named integer attribute, or def when absent or
+// not an integer.
+func AttrInt(attrs []Attr, key string, def int64) int64 {
+	for _, a := range attrs {
+		if a.Key == key && a.kind == kindInt {
+			return a.num
+		}
+	}
+	return def
+}
+
+// AttrBool returns the named boolean attribute, or def.
+func AttrBool(attrs []Attr, key string, def bool) bool {
+	for _, a := range attrs {
+		if a.Key == key && a.kind == kindBool {
+			return a.b
+		}
+	}
+	return def
+}
+
+// tee fans the span/event stream out to several Observers in order.
+type tee struct {
+	obs []Observer
+}
+
+// Tee returns an Observer delivering every callback to each non-nil
+// observer in turn, in argument order — the daemon attaches a Recorder
+// (trace download) and the SSE bridge to one solve this way. Nil and
+// single-observer cases collapse to the obvious forms.
+func Tee(observers ...Observer) Observer {
+	live := make([]Observer, 0, len(observers))
+	for _, o := range observers {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &tee{obs: live}
+}
+
+// OnSpanStart implements Observer.
+func (t *tee) OnSpanStart(s Span) {
+	for _, o := range t.obs {
+		o.OnSpanStart(s)
+	}
+}
+
+// OnEvent implements Observer.
+func (t *tee) OnEvent(e Event) {
+	for _, o := range t.obs {
+		o.OnEvent(e)
+	}
+}
+
+// OnSpanEnd implements Observer.
+func (t *tee) OnSpanEnd(s Span) {
+	for _, o := range t.obs {
+		o.OnSpanEnd(s)
+	}
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"bytes"
+	"container/list"
+	"sync"
+
+	"repro/internal/api"
+)
+
+// cacheEntry is one stored solve outcome. The result is kept in
+// canonical labels (witness sets under the canonical vertex order), so
+// a single entry serves every relabelling of the instance; the caller
+// maps sets onto the requester's labels through its own canon.Form.
+type cacheEntry struct {
+	key   string
+	canon []byte // full canonical adjacency bytes; compared on every hit
+	res   *api.SolveResult
+}
+
+// resultCache is a bounded LRU keyed by (canonical hash, solve
+// parameters). Hits verify the full canonical bytes — a SHA-256
+// collision (or a future weaker hash) degrades to a miss, never to a
+// wrong answer.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+// newResultCache returns a cache holding at most capacity entries
+// (capacity < 1 disables caching: every get misses, every put drops).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns a deep copy of the stored canonical-label result, or
+// ok=false on miss or canonical-bytes mismatch.
+func (c *resultCache) get(key string, canon []byte) (*api.SolveResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if !bytes.Equal(ent.canon, canon) {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return ent.res.Clone(), true
+}
+
+// put stores a canonical-label result, evicting the least recently
+// used entry past capacity. The cache takes ownership of res and canon.
+func (c *resultCache) put(key string, canon []byte, res *api.SolveResult) {
+	if c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value = &cacheEntry{key: key, canon: canon, res: res}
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, canon: canon, res: res})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+)
+
+// sseStream renders a solve as a Server-Sent Events feed: one
+// `event:`/`data:` frame per api.Event, flushed as it happens. It is
+// also an obs.Observer — the solver's span/event stream, emitted on the
+// serial orchestration path, is translated to wire frames synchronously
+// on the handler goroutine, so streaming adds no concurrency of its
+// own and frame order equals trace order.
+type sseStream struct {
+	w      http.ResponseWriter
+	fl     http.Flusher // nil when the ResponseWriter cannot flush
+	id     string
+	probeT map[uint64]int64 // open qmkp.probe span -> its T attr
+	err    error            // first write error; subsequent frames are dropped
+}
+
+// newSSEStream writes the response header and returns the live stream.
+func newSSEStream(w http.ResponseWriter, id string) *sseStream {
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Request-Id", id)
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	return &sseStream{w: w, fl: fl, id: id, probeT: make(map[uint64]int64)}
+}
+
+// emit writes one frame, stamping version and request id.
+func (s *sseStream) emit(ev api.Event) {
+	if s.err != nil {
+		return
+	}
+	ev.V = api.Version
+	ev.ID = s.id
+	data, err := json.Marshal(ev)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+		s.err = err
+		return
+	}
+	if s.fl != nil {
+		s.fl.Flush()
+	}
+}
+
+// final writes the terminal frame carrying the full result.
+func (s *sseStream) final(res *api.SolveResult) {
+	s.emit(api.Event{Type: api.EventFinal, Size: res.Size, Found: res.Found, Result: res})
+}
+
+// OnSpanStart implements obs.Observer: remembers each probe's T so the
+// end-of-span frame can carry it.
+func (s *sseStream) OnSpanStart(sp obs.Span) {
+	if sp.Name == "qmkp.probe" {
+		s.probeT[sp.ID] = obs.AttrInt(sp.Attrs, "T", 0)
+	}
+}
+
+// OnEvent implements obs.Observer: the progressive-answer milestones of
+// both solver families map onto wire event types; everything else stays
+// trace-only (available via /v1/trace/{id}).
+func (s *sseStream) OnEvent(e obs.Event) {
+	switch e.Name {
+	case "qmkp.greedy_seed", "kplex.bb.seed":
+		s.emit(api.Event{
+			Type: api.EventGreedySeed,
+			Size: int(obs.AttrInt(e.Attrs, "size", 0)),
+		})
+	case "kplex.bb.kernel":
+		s.emit(api.Event{
+			Type: api.EventKernel,
+			Size: int(obs.AttrInt(e.Attrs, "kernel_n", 0)),
+		})
+	case "kplex.bb.incumbent":
+		s.emit(api.Event{
+			Type: api.EventIncumbent,
+			Size: int(obs.AttrInt(e.Attrs, "size", 0)),
+		})
+	case "qmkp.first_feasible":
+		s.emit(api.Event{
+			Type:     api.EventFirstFeasible,
+			T:        int(obs.AttrInt(e.Attrs, "T", 0)),
+			Size:     int(obs.AttrInt(e.Attrs, "size", 0)),
+			Found:    true,
+			CumGates: obs.AttrInt(e.Attrs, "cum_gates", 0),
+		})
+	}
+}
+
+// OnSpanEnd implements obs.Observer: each decided binary-search probe
+// becomes one frame.
+func (s *sseStream) OnSpanEnd(sp obs.Span) {
+	if sp.Name != "qmkp.probe" {
+		return
+	}
+	t := s.probeT[sp.ID]
+	delete(s.probeT, sp.ID)
+	s.emit(api.Event{
+		Type:     api.EventProbe,
+		T:        int(t),
+		Found:    obs.AttrBool(sp.Attrs, "found", false),
+		Size:     int(obs.AttrInt(sp.Attrs, "size", 0)),
+		CumGates: obs.AttrInt(sp.Attrs, "cum_gates", 0),
+	})
+}

@@ -1,0 +1,50 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// traceRing retains the obs.Recorder of the most recent solves, keyed
+// by request id, for download via GET /v1/trace/{id}. Recorders are
+// inserted only after their solve has finished, so a fetched recorder
+// is immutable and safe to serialize without further locking.
+type traceRing struct {
+	mu    sync.Mutex
+	cap   int
+	order []string // insertion order; front is evicted first
+	byID  map[string]*obs.Recorder
+}
+
+// newTraceRing returns a ring retaining at most capacity traces
+// (capacity < 1 disables retention).
+func newTraceRing(capacity int) *traceRing {
+	return &traceRing{cap: capacity, byID: make(map[string]*obs.Recorder)}
+}
+
+// put stores a completed solve's recorder, evicting the oldest past
+// capacity.
+func (t *traceRing) put(id string, rec *obs.Recorder) {
+	if t.cap < 1 || rec == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.byID[id]; !ok {
+		t.order = append(t.order, id)
+	}
+	t.byID[id] = rec
+	for len(t.order) > t.cap {
+		delete(t.byID, t.order[0])
+		t.order = t.order[1:]
+	}
+}
+
+// get returns the recorder for id, if still retained.
+func (t *traceRing) get(id string) (*obs.Recorder, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.byID[id]
+	return rec, ok
+}
